@@ -1,0 +1,160 @@
+//! Protocol safety invariants, checked on random operation walks through
+//! the synchronous oracle: after *every* atomically-executed operation
+//! the global copy-state must satisfy the protocol family's structural
+//! invariants (single-writer exclusivity, sequencer/owner agreement,
+//! no transient states at quiescence).
+
+use proptest::prelude::*;
+use repmem_analytic::oracle::{execute, Global};
+use repmem_core::{CopyState, NodeId, OpKind, ProtocolKind, SystemParams};
+use repmem_protocols::protocol;
+
+fn invariants(kind: ProtocolKind, sys: &SystemParams, g: &Global) -> Result<(), String> {
+    use CopyState::*;
+    let home = sys.home();
+    let seq_state = g.states[home.idx()];
+    let client_states: Vec<CopyState> =
+        sys.clients().map(|c| g.states[c.idx()]).collect();
+    let err = |msg: String| Err(format!("{kind:?}: {msg} (states {:?}, owner {})", g.states, g.owner));
+
+    // Quiescence: the transient RECALLING state never survives an
+    // atomic operation.
+    if g.states.contains(&Recalling) {
+        return err("RECALLING state at quiescence".into());
+    }
+
+    let dirtyish = |s: &CopyState| matches!(s, Dirty | SharedDirty);
+    let n_dirty = g.states.iter().filter(|s| dirtyish(s)).count();
+
+    match kind {
+        ProtocolKind::WriteThrough | ProtocolKind::WriteThroughV => {
+            // Fixed sequencer always VALID; clients VALID/INVALID only.
+            if seq_state != Valid {
+                return err(format!("sequencer must stay VALID, is {seq_state:?}"));
+            }
+            if client_states.iter().any(|s| !matches!(s, Valid | Invalid)) {
+                return err("client outside {VALID, INVALID}".into());
+            }
+        }
+        ProtocolKind::WriteOnce => {
+            // At most one copy beyond plain VALID; a RESERVED/DIRTY copy
+            // is exclusive among clients; sequencer INVALID ⟺ a DIRTY
+            // client exists.
+            let exclusive: Vec<&CopyState> =
+                client_states.iter().filter(|s| matches!(s, Reserved | Dirty)).collect();
+            if exclusive.len() > 1 {
+                return err("two RESERVED/DIRTY copies".into());
+            }
+            if exclusive.iter().any(|s| matches!(s, Reserved | Dirty))
+                && client_states.iter().filter(|s| matches!(s, Valid)).count() > 0
+            {
+                return err("VALID sharer next to an exclusive copy".into());
+            }
+            let has_dirty = client_states.iter().any(|s| matches!(s, Dirty));
+            if has_dirty != (seq_state == Invalid) {
+                return err(format!(
+                    "sequencer {seq_state:?} inconsistent with dirty={has_dirty}"
+                ));
+            }
+        }
+        ProtocolKind::Synapse | ProtocolKind::Illinois => {
+            let dirty = client_states.iter().filter(|s| matches!(s, Dirty)).count();
+            if dirty > 1 {
+                return err("two DIRTY copies".into());
+            }
+            if (dirty == 1) != (seq_state == Invalid) {
+                return err(format!("sequencer {seq_state:?} inconsistent with dirty={dirty}"));
+            }
+            if dirty == 1 && client_states.iter().any(|s| matches!(s, Valid)) {
+                return err("VALID sharer while a DIRTY copy exists".into());
+            }
+        }
+        ProtocolKind::Berkeley => {
+            // Exactly one owner copy (DIRTY or SHARED-DIRTY), at the node
+            // the owner register names; DIRTY means exclusive.
+            if n_dirty != 1 {
+                return err(format!("{n_dirty} owner copies"));
+            }
+            if !dirtyish(&g.states[g.owner.idx()]) {
+                return err("owner register points at a non-owner copy".into());
+            }
+            if g.states[g.owner.idx()] == Dirty
+                && g.states.iter().enumerate().any(|(i, s)| {
+                    NodeId(i as u16) != g.owner && matches!(s, Valid)
+                })
+            {
+                return err("VALID copy while the owner is exclusive DIRTY".into());
+            }
+        }
+        ProtocolKind::Dragon => {
+            // One-state-per-role, always readable.
+            if seq_state != SharedDirty {
+                return err(format!("sequencer must be SHARED-DIRTY, is {seq_state:?}"));
+            }
+            if client_states.iter().any(|s| *s != SharedClean) {
+                return err("client must be SHARED-CLEAN".into());
+            }
+        }
+        ProtocolKind::Firefly => {
+            if g.states.iter().any(|s| *s != Valid) {
+                return err("all Firefly copies must stay VALID".into());
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_walks_preserve_invariants(
+        n_clients in 2usize..7,
+        walk in proptest::collection::vec((0u16..7, proptest::bool::ANY), 1..120),
+    ) {
+        let sys = SystemParams::new(n_clients, 32, 8);
+        for kind in ProtocolKind::ALL {
+            let proto = protocol(kind);
+            let mut g = Global::initial(proto, &sys);
+            prop_assert!(invariants(kind, &sys, &g).is_ok(), "initial state invalid");
+            for &(node_raw, is_write) in &walk {
+                let node = NodeId(node_raw % sys.n_nodes() as u16);
+                let op = if is_write { OpKind::Write } else { OpKind::Read };
+                execute(proto, &sys, &mut g, node, op);
+                if let Err(e) = invariants(kind, &sys, &g) {
+                    prop_assert!(false, "after {op} at {node}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Reads never change the cost-relevant exclusivity structure for the
+/// update protocols, and repeated operations at one node reach a
+/// zero-cost fixed point for every protocol ("steady state exists").
+#[test]
+fn repeated_local_operations_become_free() {
+    let sys = SystemParams::new(4, 100, 30);
+    for kind in ProtocolKind::ALL {
+        let proto = protocol(kind);
+        for op in [OpKind::Read, OpKind::Write] {
+            let mut g = Global::initial(proto, &sys);
+            // Let the node acquire whatever it needs.
+            for _ in 0..4 {
+                execute(proto, &sys, &mut g, NodeId(1), op);
+            }
+            let steady = execute(proto, &sys, &mut g, NodeId(1), op).cost;
+            let is_update_write = matches!(kind, ProtocolKind::Dragon | ProtocolKind::Firefly)
+                && op == OpKind::Write;
+            let is_wt_write = matches!(
+                kind,
+                ProtocolKind::WriteThrough | ProtocolKind::WriteThroughV
+            ) && op == OpKind::Write;
+            if is_update_write || is_wt_write {
+                // Write-through/update protocols pay per write, forever.
+                assert!(steady > 0, "{kind:?} {op}: expected recurring cost");
+            } else {
+                assert_eq!(steady, 0, "{kind:?} {op}: expected a free steady state");
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Benches for E12 — chain-engine ablations: exact lumping of
+//! exchangeable clients on/off, and dense-direct vs damped-power
+//! stationary solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repmem_analytic::chain::{analyze, AnalyzeOpts};
+use repmem_core::{ProtocolKind, Scenario, SystemParams};
+use repmem_protocols::protocol;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_lumping(c: &mut Criterion) {
+    let sys = SystemParams::new(12, 100, 30);
+    let mut g = c.benchmark_group("engine/lumping_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for a in [2usize, 4, 6] {
+        let scenario = Scenario::read_disturbance(0.3, 0.4 / a as f64, a).unwrap();
+        for (label, lump) in [("lumped", true), ("unlumped", false)] {
+            g.bench_with_input(BenchmarkId::new(label, a), &a, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        analyze(
+                            protocol(ProtocolKind::Synapse),
+                            &sys,
+                            &scenario,
+                            AnalyzeOpts { lump, ..AnalyzeOpts::default() },
+                        )
+                        .unwrap()
+                        .acc,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let sys = SystemParams::figure5();
+    let scenario = Scenario::write_disturbance(0.2, 0.02, 10).unwrap();
+    let mut g = c.benchmark_group("engine/stationary_solver");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, cutoff) in [("dense_direct", usize::MAX), ("power_iteration", 0)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    analyze(
+                        protocol(ProtocolKind::Berkeley),
+                        &sys,
+                        &scenario,
+                        AnalyzeOpts { dense_cutoff: cutoff, ..AnalyzeOpts::default() },
+                    )
+                    .unwrap()
+                    .acc,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_lumping, bench_solvers
+}
+criterion_main!(benches);

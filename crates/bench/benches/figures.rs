@@ -1,0 +1,87 @@
+//! Benches for E7/E8 — regenerating the Figure 5 (read disturbance) and
+//! Figure 6 (write disturbance) characteristic surfaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repmem_analytic::chain::{analyze, AnalyzeOpts};
+use repmem_analytic::closed::{closed_rd, closed_wd};
+use repmem_core::{ProtocolKind, Scenario, SystemParams};
+use repmem_protocols::protocol;
+use std::hint::black_box;
+use std::time::Duration;
+
+const PANEL_A: [ProtocolKind; 4] = [
+    ProtocolKind::WriteOnce,
+    ProtocolKind::Synapse,
+    ProtocolKind::Illinois,
+    ProtocolKind::Berkeley,
+];
+
+fn bench_fig5(c: &mut Criterion) {
+    let sys = SystemParams::figure5();
+    let a = 10usize;
+    c.bench_function("fig5/panel_a_surface_41x41", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for pi in 0..41 {
+                let p = pi as f64 / 40.0;
+                for si in 0..41 {
+                    let sigma = si as f64 / 40.0 * (1.0 - p) / a as f64;
+                    for kind in PANEL_A {
+                        total += closed_rd(kind, &sys, p, sigma, a);
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let sys = SystemParams::figure5();
+    let a = 10usize;
+    // Closed-form panels are nearly free; the engine-driven panel (a)
+    // dominates Figure 6 generation, so bench one engine point per
+    // protocol of that panel.
+    let mut g = c.benchmark_group("fig6/engine_point");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in PANEL_A {
+        g.bench_function(kind.name(), |b| {
+            let scenario = Scenario::write_disturbance(0.2, 0.02, a).unwrap();
+            b.iter(|| {
+                black_box(
+                    analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
+                        .unwrap()
+                        .acc,
+                )
+            })
+        });
+    }
+    g.finish();
+    c.bench_function("fig6/closed_panels_21x21", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for pi in 0..21 {
+                let p = pi as f64 / 20.0;
+                for xi_i in 0..21 {
+                    let xi = xi_i as f64 / 20.0 * (1.0 - p) / a as f64;
+                    for kind in [
+                        ProtocolKind::WriteThrough,
+                        ProtocolKind::WriteThroughV,
+                        ProtocolKind::Dragon,
+                        ProtocolKind::Firefly,
+                    ] {
+                        total += closed_wd(kind, &sys, p, xi, a).unwrap();
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_fig5, bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Linear-algebra substrate kernels: dense Gaussian elimination, sparse
+//! matvec and the two stationary-distribution solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repmem_linalg::{stationary_dense, stationary_power, Dense, StationaryOpts, Triplets};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_chain(n: usize, fanout: usize, seed: u64) -> Triplets {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        let mut weights = vec![0.0; fanout];
+        let mut sum = 0.0;
+        for w in &mut weights {
+            *w = rng.random::<f64>() + 0.01;
+            sum += *w;
+        }
+        for w in weights {
+            let j = rng.random_range(0..n);
+            t.add(i, j, w / sum);
+        }
+    }
+    t
+}
+
+fn bench_stationary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg/stationary");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [64usize, 256, 1024] {
+        let csr = random_chain(n, 6, 1).build();
+        g.bench_with_input(BenchmarkId::new("power", n), &n, |b, _| {
+            b.iter(|| black_box(stationary_power(&csr, StationaryOpts::default()).unwrap()))
+        });
+        if n <= 256 {
+            let dense = csr.to_dense();
+            g.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+                b.iter(|| black_box(stationary_dense(&dense).unwrap()))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 128;
+    let mut a = Dense::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = rng.random::<f64>();
+        }
+        a[(i, i)] += n as f64; // diagonally dominant
+    }
+    let bvec: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    c.bench_function("linalg/gaussian_solve_128", |b| {
+        b.iter(|| black_box(a.solve(&bvec).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_stationary, bench_solve
+}
+criterion_main!(benches);

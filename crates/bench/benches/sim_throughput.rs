@@ -1,0 +1,46 @@
+//! Discrete-event simulator throughput: operations per second per
+//! protocol, in both issue modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use repmem_core::{ProtocolKind, Scenario, SystemParams};
+use repmem_sim::{simulate, IssueMode, SimConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+const OPS: usize = 2_000;
+
+fn bench_sim(c: &mut Criterion) {
+    let sys = SystemParams::new(8, 100, 30);
+    let scenario = Scenario::read_disturbance(0.3, 0.05, 4).unwrap();
+    let mut g = c.benchmark_group("sim/ops_per_sec");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(OPS as u64));
+    for kind in ProtocolKind::ALL {
+        for (label, mode) in [
+            ("serialized", IssueMode::Serialized),
+            ("concurrent", IssueMode::Concurrent { mean_think: 32.0 }),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, kind.name()), &kind, |b, &kind| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        sys,
+                        protocol: kind,
+                        mode,
+                        warmup_ops: 0,
+                        measured_ops: OPS,
+                        seed: 7,
+                    };
+                    black_box(simulate(&cfg, &scenario).total_cost)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_sim
+}
+criterion_main!(benches);

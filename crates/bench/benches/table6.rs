@@ -1,0 +1,55 @@
+//! Bench for E6 — regenerating the (reconstructed) Table 6: closed-form
+//! read-disturbance costs for all eight protocols, and a chain-engine
+//! verification solve per protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repmem_analytic::chain::{analyze, AnalyzeOpts};
+use repmem_analytic::closed::closed_rd;
+use repmem_core::{ProtocolKind, Scenario, SystemParams};
+use repmem_protocols::protocol;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table6(c: &mut Criterion) {
+    let sys = SystemParams::figure5();
+    let a = 10usize;
+
+    c.bench_function("table6/closed_forms_full_grid", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for pi in 0..21 {
+                let p = pi as f64 / 20.0;
+                for si in 0..21 {
+                    let sigma = si as f64 / 20.0 * (1.0 - p) / a as f64;
+                    for kind in ProtocolKind::ALL {
+                        total += closed_rd(kind, &sys, p, sigma, a);
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+
+    let mut g = c.benchmark_group("table6/engine_verification");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in ProtocolKind::ALL {
+        g.bench_function(kind.name(), |b| {
+            let scenario = Scenario::read_disturbance(0.3, 0.03, a).unwrap();
+            b.iter(|| {
+                black_box(
+                    analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
+                        .unwrap()
+                        .acc,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_table6
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench for E9 — one Table 7 cell: analytic solve plus the serialized
+//! and concurrent simulations with the paper's configuration
+//! (N=3, a=2, P=30, S=100, M=20, 500+1500 operations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repmem_analytic::chain::{analyze, AnalyzeOpts};
+use repmem_core::{ProtocolKind, Scenario, SystemParams};
+use repmem_protocols::protocol;
+use repmem_sim::{simulate, IssueMode, SimConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table7(c: &mut Criterion) {
+    let sys = SystemParams::table7();
+    let scenario = Scenario::read_disturbance(0.4, 0.2, 2).unwrap();
+
+    c.bench_function("table7/analytic_cell", |b| {
+        b.iter(|| {
+            black_box(
+                analyze(
+                    protocol(ProtocolKind::WriteOnce),
+                    &sys,
+                    &scenario,
+                    AnalyzeOpts::default(),
+                )
+                .unwrap()
+                .acc,
+            )
+        })
+    });
+
+    for (name, mode) in [
+        ("table7/sim_serialized_cell", IssueMode::Serialized),
+        ("table7/sim_concurrent_cell", IssueMode::Concurrent { mean_think: 64.0 }),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    sys,
+                    protocol: ProtocolKind::WriteOnce,
+                    mode,
+                    warmup_ops: 500,
+                    measured_ops: 1500,
+                    seed: 42,
+                };
+                black_box(simulate(&cfg, &scenario).acc())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    targets = bench_table7
+}
+criterion_main!(benches);

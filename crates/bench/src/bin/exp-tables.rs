@@ -1,0 +1,26 @@
+//! E1 — regenerate the paper's Tables 1–3 and the Appendix A state
+//! machines: the full client/sequencer Mealy transition tables of all
+//! eight protocols, extracted from the executable machines.
+
+use repmem_bench::write_text;
+use repmem_core::Role;
+use repmem_protocols::{all_protocols, describe::transition_table};
+
+fn main() {
+    let mut out = String::new();
+    out.push_str("Mealy transition tables (paper Tables 1-3 and Appendix A)\n");
+    out.push_str("=========================================================\n\n");
+    out.push_str("Inputs are message tokens TYPE/presence (presence: 0 = token\n");
+    out.push_str("only, w = write parameters, ui = user information). Error\n");
+    out.push_str("entries (not analyzed by the protocols, paper Table 1 note 5)\n");
+    out.push_str("are omitted.\n\n");
+    for p in all_protocols() {
+        for role in [Role::Client, Role::Sequencer] {
+            out.push_str(&transition_table(p, role));
+            out.push('\n');
+        }
+    }
+    let path = write_text("transition_tables.txt", &out);
+    println!("{out}");
+    println!("written: {}", path.display());
+}

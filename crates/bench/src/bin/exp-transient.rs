@@ -1,0 +1,54 @@
+//! E13 — transient (burn-in) analysis: how quickly the expected
+//! per-operation cost converges from the cold start to the stationary
+//! `acc`, per protocol. Quantifies the paper's §5.2 choice of discarding
+//! the first 500 operations.
+
+use repmem_analytic::transient::profile;
+use repmem_bench::{render_table, write_csv};
+use repmem_core::{ProtocolKind, Scenario, SystemParams};
+use repmem_protocols::protocol;
+
+fn main() {
+    let sys = SystemParams::table7();
+    let scenario = Scenario::read_disturbance(0.4, 0.2, 2).expect("valid workload");
+    let horizon = 600usize;
+    let tol = 0.01;
+
+    println!(
+        "Transient profile: Table 7 configuration (N={}, S={}, P={}), RD p=0.4 σ=0.2 a=2",
+        sys.n_clients, sys.s, sys.p
+    );
+    println!("Band: expected per-op cost within {:.0} % of stationary acc.\n", tol * 100.0);
+
+    let header: Vec<String> = ["protocol", "acc", "E[cost] op#1", "op#10", "op#50", "settled after"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut worst = 0usize;
+    for kind in ProtocolKind::ALL {
+        let p = profile(protocol(kind), &sys, &scenario, tol, horizon).expect("profile");
+        let settled = p.settled_after.unwrap_or(horizon);
+        worst = worst.max(settled);
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.3}", p.acc),
+            format!("{:.3}", p.expected_cost[0]),
+            format!("{:.3}", p.expected_cost[9]),
+            format!("{:.3}", p.expected_cost[49]),
+            format!("{settled}"),
+        ]);
+        for (t, e) in p.expected_cost.iter().enumerate().take(200) {
+            csv.push(vec![kind.name().to_string(), t.to_string(), e.to_string()]);
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "worst-case settling: {worst} operations — the paper's 500-operation warm-up is {}.",
+        if worst < 500 { "conservative (as intended)" } else { "NOT sufficient here" }
+    );
+    assert!(worst < 500, "burn-in exceeded the paper's warm-up budget");
+    let path = write_csv("transient_profiles.csv", &["protocol", "op", "expected_cost"], csv);
+    println!("written: {}", path.display());
+}

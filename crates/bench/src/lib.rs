@@ -1,0 +1,158 @@
+//! # repmem-bench
+//!
+//! Experiment binaries and Criterion benches that regenerate every table
+//! and figure of the paper's evaluation (§5). Each binary writes CSV/text
+//! artifacts into the workspace `results/` directory and prints a
+//! human-readable summary; the index lives in DESIGN.md §5 and the
+//! measured-vs-paper record in EXPERIMENTS.md.
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `exp-tables` | Tables 1–3 + Appendix A state machines |
+//! | `exp-traces` | §4.1 trace sets and costs |
+//! | `exp-closed-forms` | equations (3), (4), (5) |
+//! | `exp-table6` | Table 6 (reconstructed closed forms) |
+//! | `exp-fig5` | Figure 5(a–d) read-disturbance surfaces |
+//! | `exp-fig6` | Figure 6(a–d) write-disturbance surfaces |
+//! | `exp-table7` | Table 7 analysis-vs-simulation comparison |
+//! | `exp-crossover` | §5.1 dominance and crossover analysis |
+//! | `exp-adaptive` | §6 adaptive self-tuning extension |
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The workspace `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a CSV file into `results/` and return its path.
+pub fn write_csv(
+    name: &str,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Write a plain-text artifact into `results/` and return its path.
+pub fn write_text(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("write text artifact");
+    path
+}
+
+/// Inclusive linspace of `n` points over `[lo, hi]`.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+}
+
+/// Render a fixed-width table for terminal output.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = line(header);
+    out.push('\n');
+    out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a `rows × cols` scalar field as an ASCII heat map (rows are
+/// printed top-down from the *last* row, so increasing `p` goes up, like
+/// the paper's surface plots). Values are normalized to the field's own
+/// maximum.
+pub fn ascii_heatmap(
+    title: &str,
+    row_labels: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let max = values
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |m, &v| m.max(v));
+    let mut out = format!("{title} (max = {max:.1})\n");
+    for (ri, row) in values.iter().enumerate().rev() {
+        let label = row_labels.get(ri).map(String::as_str).unwrap_or("");
+        out.push_str(&format!("{label:>8} |"));
+        for &v in row {
+            let idx = if max > 0.0 {
+                ((v / max) * (SHADES.len() - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            out.push(SHADES[idx.min(SHADES.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shades_scale_with_value() {
+        let map = ascii_heatmap(
+            "t",
+            &["a".into(), "b".into()],
+            &[vec![0.0, 5.0], vec![10.0, 10.0]],
+        );
+        let lines: Vec<&str> = map.lines().collect();
+        assert!(lines[0].starts_with("t (max = 10.0)"));
+        assert!(lines[1].contains("@@"), "{map}");
+        assert!(lines[2].contains(' ') && lines[2].contains('+'), "{map}");
+    }
+
+    #[test]
+    fn heatmap_handles_all_zero_fields() {
+        let map = ascii_heatmap("z", &["r".into()], &[vec![0.0, 0.0]]);
+        assert!(map.lines().nth(1).unwrap().ends_with("|  "));
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a".into(), "long".into()],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "20000".into()]],
+        );
+        assert!(t.contains("a"));
+        assert!(t.lines().count() >= 4);
+    }
+}

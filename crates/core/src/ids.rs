@@ -1,0 +1,81 @@
+//! Identifiers for nodes, shared objects and in-flight operations.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in the distributed system.
+///
+/// The paper's system has `N+1` nodes: clients are indexed `0..N` and the
+/// (home) sequencer is node `N` (the paper writes them as `i = 1..N` and
+/// `N+1`; we use zero-based indices throughout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Raw index as `usize`, for indexing per-node tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of one of the `M` disjoint shared data blocks
+/// ("shared objects", paper §2).
+///
+/// A shared object is a collection of data that need not be stored
+/// consecutively; the analysis concentrates on one object at a time, and
+/// objects are fully independent (each has its own protocol processes),
+/// so most of this workspace operates per-object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Raw index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Tag attributing every message of a distributed operation to the
+/// operation (read or write) that initiated it.
+///
+/// Hosts assign a fresh tag per application request; cost accounting sums
+/// message costs per tag, which is exactly the paper's notion of a *trace
+/// communication cost* (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpTag(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(ObjectId(7).to_string(), "obj7");
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(NodeId(12).idx(), 12);
+        assert_eq!(ObjectId(5).idx(), 5);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(OpTag(9) < OpTag(10));
+    }
+}

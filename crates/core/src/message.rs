@@ -1,0 +1,224 @@
+//! Message tokens exchanged between protocol processes.
+//!
+//! A message consists of a *token* and optional additional parameters.
+//! The paper (§3) represents a token as the five-tuple
+//! `(type, operation-initiator, object-name, queue, parameter-presence)`;
+//! [`Msg`] carries the same five fields plus two host-level fields
+//! (`sender` for routing, `op` for per-operation cost attribution) that the
+//! paper leaves implicit in its channel structure.
+
+use crate::ids::{NodeId, ObjectId, OpTag};
+use serde::{Deserialize, Serialize};
+
+/// The queue a message is (to be) enqueued into (paper's `queue` field).
+///
+/// Clients have two input queues: a *local* queue fed by the node's own
+/// application process and a *distributed* queue fed by other protocol
+/// processes. The sequencer has only a distributed queue, which also
+/// receives its own application's requests — that queue performs the global
+/// sequential filtering of concurrent distributed operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// The client-side local queue (`l`).
+    Local,
+    /// The distributed queue (`d`).
+    Distributed,
+}
+
+/// Parameter presence of a message (paper's `parameter-presence` field),
+/// which determines its communication cost:
+///
+/// | presence | paper symbol | cost |
+/// |---|---|---|
+/// | [`PayloadKind::Token`]  | `0`  | 1 |
+/// | [`PayloadKind::Params`] | `w` (or `r`) | `P+1` |
+/// | [`PayloadKind::Copy`]   | `ui` | `S+1` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PayloadKind {
+    /// Message token only.
+    Token,
+    /// Token + write-operation parameters.
+    Params,
+    /// Token + complete new user-information part of a copy.
+    Copy,
+}
+
+/// Message types used across the eight protocols (paper's `type` field).
+///
+/// The Write-Through protocol uses exactly six of these (`RReq`, `WReq`,
+/// `RPer`, `WPer`, `RGnt`, `WInv`); the remaining kinds appear in the other
+/// seven adapted protocols (ownership transfer, recall/flush of a dirty
+/// copy, retry after a Synapse-style write-back, update broadcasts, plain
+/// acknowledgements, and the Write-Once "going dirty" notice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// Application read request (`R-REQ`).
+    RReq,
+    /// Application write request (`W-REQ`).
+    WReq,
+    /// Read permission-asking message (`R-PER`).
+    RPer,
+    /// Write permission-asking message (`W-PER`).
+    WPer,
+    /// Write-upgrade request: the writer already holds a VALID copy and
+    /// only needs exclusivity, not data (Illinois, Berkeley).
+    WUpg,
+    /// Read grant, carries the user information (`R-GNT`).
+    RGnt,
+    /// Write grant / ownership grant (may carry the user information).
+    WGnt,
+    /// Invalidation (`W-INV`).
+    WInv,
+    /// Update carrying write parameters (Dragon, Firefly).
+    Upd,
+    /// Demand that a dirty owner flush its copy back so a **read** can be
+    /// served (Synapse/Illinois/Write-Once sequencer → owner).
+    Recall,
+    /// Demand that a dirty owner flush **and invalidate** its copy so an
+    /// exclusive (write) grant can be made.
+    RecallX,
+    /// Write-back of a dirty copy (owner → sequencer) answering a
+    /// [`MsgKind::Recall`]; carries the copy.
+    Flush,
+    /// Write-back answering a [`MsgKind::RecallX`]; the owner invalidates
+    /// itself. Carries the copy.
+    FlushX,
+    /// Tell a requester to re-issue its request (Synapse's two-phase
+    /// read-miss service of a dirty block).
+    Retry,
+    /// Plain acknowledgement token.
+    Ack,
+    /// Write-Once client → sequencer notice that a RESERVED copy is being
+    /// written a second time and the sequencer's copy is now stale.
+    DirtyNote,
+}
+
+impl MsgKind {
+    /// `true` for the two application-request kinds that enter via a
+    /// node's own queue rather than over a channel.
+    #[inline]
+    pub fn is_app_request(self) -> bool {
+        matches!(self, MsgKind::RReq | MsgKind::WReq)
+    }
+
+    /// Short uppercase mnemonic used by transition-table dumps.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MsgKind::RReq => "R-REQ",
+            MsgKind::WReq => "W-REQ",
+            MsgKind::RPer => "R-PER",
+            MsgKind::WPer => "W-PER",
+            MsgKind::WUpg => "W-UPG",
+            MsgKind::RGnt => "R-GNT",
+            MsgKind::WGnt => "W-GNT",
+            MsgKind::WInv => "W-INV",
+            MsgKind::Upd => "UPD",
+            MsgKind::Recall => "RECALL",
+            MsgKind::RecallX => "RECALL-X",
+            MsgKind::Flush => "FLUSH",
+            MsgKind::FlushX => "FLUSH-X",
+            MsgKind::Retry => "RETRY",
+            MsgKind::Ack => "ACK",
+            MsgKind::DirtyNote => "DIRTY-NOTE",
+        }
+    }
+}
+
+/// A message token together with the host-level routing/attribution fields.
+///
+/// `payload` describes *what class of data* travels with the token; the
+/// hosts (oracle, simulator, runtime) attach and move the actual data so
+/// that the protocol machines stay data-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Msg {
+    /// Message type.
+    pub kind: MsgKind,
+    /// Node whose application process initiated the operation this message
+    /// belongs to (paper's `operation-initiator`).
+    pub initiator: NodeId,
+    /// Node that sent this message (equals the receiver for application
+    /// requests popped from a local queue).
+    pub sender: NodeId,
+    /// The shared object concerned (paper's `object-name`).
+    pub object: ObjectId,
+    /// Which input queue the message arrived on.
+    pub queue: QueueKind,
+    /// Parameter presence (cost class).
+    pub payload: PayloadKind,
+    /// Host-assigned operation tag for cost attribution.
+    pub op: OpTag,
+}
+
+impl Msg {
+    /// Construct an application request (read or write) as it appears at
+    /// the head of the issuing node's queue. On a client the request sits
+    /// in the local queue; on the sequencer it goes through the
+    /// distributed queue (paper §2).
+    pub fn app_request(kind: MsgKind, node: NodeId, is_sequencer: bool, object: ObjectId, op: OpTag) -> Self {
+        debug_assert!(kind.is_app_request());
+        Msg {
+            kind,
+            initiator: node,
+            sender: node,
+            object,
+            queue: if is_sequencer { QueueKind::Distributed } else { QueueKind::Local },
+            payload: match kind {
+                MsgKind::WReq => PayloadKind::Params,
+                _ => PayloadKind::Token,
+            },
+            op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_request_queue_placement() {
+        let obj = ObjectId(0);
+        let m = Msg::app_request(MsgKind::RReq, NodeId(2), false, obj, OpTag(1));
+        assert_eq!(m.queue, QueueKind::Local);
+        assert_eq!(m.payload, PayloadKind::Token);
+        let m = Msg::app_request(MsgKind::WReq, NodeId(5), true, obj, OpTag(2));
+        assert_eq!(m.queue, QueueKind::Distributed);
+        assert_eq!(m.payload, PayloadKind::Params);
+        assert_eq!(m.initiator, NodeId(5));
+        assert_eq!(m.sender, NodeId(5));
+    }
+
+    #[test]
+    fn app_request_kinds() {
+        assert!(MsgKind::RReq.is_app_request());
+        assert!(MsgKind::WReq.is_app_request());
+        assert!(!MsgKind::RPer.is_app_request());
+        assert!(!MsgKind::WInv.is_app_request());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let all = [
+            MsgKind::RReq,
+            MsgKind::WReq,
+            MsgKind::RPer,
+            MsgKind::WPer,
+            MsgKind::WUpg,
+            MsgKind::RGnt,
+            MsgKind::WGnt,
+            MsgKind::WInv,
+            MsgKind::Upd,
+            MsgKind::Recall,
+            MsgKind::RecallX,
+            MsgKind::Flush,
+            MsgKind::FlushX,
+            MsgKind::Retry,
+            MsgKind::Ack,
+            MsgKind::DirtyNote,
+        ];
+        let mut names: Vec<_> = all.iter().map(|k| k.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

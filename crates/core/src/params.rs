@@ -1,0 +1,109 @@
+//! System-level parameters of the distributed shared memory model.
+
+use crate::ids::NodeId;
+use crate::message::PayloadKind;
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of the distributed system and its cost model
+/// (paper Table 5, system part).
+///
+/// * `n_clients` — `N`, the number of client nodes; the system has `N+1`
+///   nodes in total (clients `0..N` plus the home sequencer, node `N`).
+/// * `s` — `S`, the communication cost of transmitting the user-information
+///   part of a copy (a whole-object transfer costs `S+1` including the
+///   message token).
+/// * `p` — `P`, the communication cost of transmitting write-operation
+///   parameters (a parameter-carrying message costs `P+1`).
+/// * `m_objects` — `M`, the number of disjoint shared objects the global
+///   address space is decomposed into. The analytic model treats objects
+///   independently, so `M` only matters to the simulator and runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemParams {
+    /// `N` — number of client nodes.
+    pub n_clients: usize,
+    /// `S` — cost of shipping the user-information part of a copy.
+    pub s: u64,
+    /// `P` — cost of shipping write-operation parameters.
+    pub p: u64,
+    /// `M` — number of shared objects.
+    pub m_objects: usize,
+}
+
+impl SystemParams {
+    /// Convenience constructor for a single-object system.
+    pub fn new(n_clients: usize, s: u64, p: u64) -> Self {
+        Self { n_clients, s, p, m_objects: 1 }
+    }
+
+    /// Total number of nodes, `N + 1`.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_clients + 1
+    }
+
+    /// The home sequencer's node id (the paper's node `N+1`; zero-based
+    /// here as node `N`).
+    #[inline]
+    pub fn home(&self) -> NodeId {
+        NodeId(self.n_clients as u16)
+    }
+
+    /// Iterator over all client node ids (`0..N`).
+    pub fn clients(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n_clients as u16).map(NodeId)
+    }
+
+    /// Communication cost of a single **inter-node** message carrying the
+    /// given parameter presence (paper §4.1). Intra-node deliveries cost
+    /// zero and must be filtered out by the caller.
+    #[inline]
+    pub fn msg_cost(&self, payload: PayloadKind) -> u64 {
+        match payload {
+            PayloadKind::Token => 1,
+            PayloadKind::Params => self.p + 1,
+            PayloadKind::Copy => self.s + 1,
+        }
+    }
+
+    /// The paper's Figure 5/6 configuration: `N=50, a=10, P=30, S=5000`
+    /// (`a` lives in the workload scenario, not here).
+    pub fn figure5() -> Self {
+        Self::new(50, 5000, 30)
+    }
+
+    /// The paper's Table 7 configuration: `N=3, P=30, S=100, M=20`.
+    pub fn table7() -> Self {
+        Self { n_clients: 3, s: 100, p: 30, m_objects: 20 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology() {
+        let sys = SystemParams::new(4, 100, 30);
+        assert_eq!(sys.n_nodes(), 5);
+        assert_eq!(sys.home(), NodeId(4));
+        let clients: Vec<_> = sys.clients().collect();
+        assert_eq!(clients, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(!clients.contains(&sys.home()));
+    }
+
+    #[test]
+    fn message_costs_match_paper() {
+        let sys = SystemParams::new(3, 100, 30);
+        assert_eq!(sys.msg_cost(PayloadKind::Token), 1);
+        assert_eq!(sys.msg_cost(PayloadKind::Params), 31);
+        assert_eq!(sys.msg_cost(PayloadKind::Copy), 101);
+    }
+
+    #[test]
+    fn preset_configurations() {
+        let f = SystemParams::figure5();
+        assert_eq!((f.n_clients, f.s, f.p), (50, 5000, 30));
+        let t = SystemParams::table7();
+        assert_eq!((t.n_clients, t.s, t.p, t.m_objects), (3, 100, 30, 20));
+    }
+}

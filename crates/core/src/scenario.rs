@@ -1,0 +1,284 @@
+//! The five-parameter stochastic workload model (paper §4.2).
+//!
+//! The workload is a collection of processes behaving in stochastic steady
+//! state. Each shared-memory operation is an independent trial drawn from
+//! a sample space of *(node, read/write)* events; the paper characterizes
+//! workloads as deviations from an **ideal** workload (every object
+//! accessed at exactly one node, its *activity center*):
+//!
+//! * **read disturbance** — the activity center reads (prob. `1-p-aσ`) and
+//!   writes (prob. `p`); each of `a` other clients reads with prob. `σ`;
+//! * **write disturbance** — the activity center reads (prob. `1-p-aξ`)
+//!   and writes (`p`); each of `a` other clients writes with prob. `ξ`;
+//! * **multiple activity centers** — `β` clients each read with prob.
+//!   `(1-p)/β` and write with prob. `p/β`.
+//!
+//! [`Scenario`] generalizes all of these to an arbitrary list of
+//! [`ActorSpec`]s, which both the analytic engine and the synthetic
+//! workload generators consume.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Probability-comparison tolerance used when validating scenarios.
+const PROB_EPS: f64 = 1e-9;
+
+/// Snap floating-point dust to an exact zero (e.g. `1 − p − aσ` at a
+/// simplex corner evaluating to −5.5e-17).
+fn snap(p: f64) -> f64 {
+    if p.abs() < PROB_EPS {
+        0.0
+    } else {
+        p
+    }
+}
+
+/// Kind of a shared-memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A read of the shared object.
+    Read,
+    /// A write to the shared object.
+    Write,
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+        })
+    }
+}
+
+/// One participating node and its per-trial read/write probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActorSpec {
+    /// The node issuing the operations.
+    pub node: NodeId,
+    /// Probability that a trial is a read by this node.
+    pub read_prob: f64,
+    /// Probability that a trial is a write by this node.
+    pub write_prob: f64,
+}
+
+impl ActorSpec {
+    /// Total per-trial activity of this actor.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.read_prob + self.write_prob
+    }
+}
+
+/// Errors from scenario validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A probability was negative or greater than one.
+    ProbabilityOutOfRange(f64),
+    /// The event probabilities do not sum to one.
+    DoesNotSumToOne(f64),
+    /// The same node appears in two actor specs.
+    DuplicateNode(NodeId),
+    /// The scenario has no actors.
+    Empty,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::ProbabilityOutOfRange(p) => {
+                write!(f, "probability {p} out of [0,1]")
+            }
+            ScenarioError::DoesNotSumToOne(s) => {
+                write!(f, "event probabilities sum to {s}, expected 1")
+            }
+            ScenarioError::DuplicateNode(n) => write!(f, "node {n} listed twice"),
+            ScenarioError::Empty => write!(f, "scenario has no actors"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A complete sample-space description: which nodes access the object and
+/// with what per-trial probabilities. Probabilities over all actors sum
+/// to one (each trial is exactly one operation somewhere in the system).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Participating nodes. Nodes not listed never access the object.
+    pub actors: Vec<ActorSpec>,
+}
+
+impl Scenario {
+    /// Validate and build a scenario from raw actor specs.
+    pub fn new(actors: Vec<ActorSpec>) -> Result<Self, ScenarioError> {
+        if actors.is_empty() {
+            return Err(ScenarioError::Empty);
+        }
+        let mut sum = 0.0;
+        for a in &actors {
+            for p in [a.read_prob, a.write_prob] {
+                if !(0.0..=1.0 + PROB_EPS).contains(&p) {
+                    return Err(ScenarioError::ProbabilityOutOfRange(p));
+                }
+            }
+            sum += a.total();
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(ScenarioError::DoesNotSumToOne(sum));
+        }
+        let mut nodes: Vec<NodeId> = actors.iter().map(|a| a.node).collect();
+        nodes.sort_unstable();
+        for w in nodes.windows(2) {
+            if w[0] == w[1] {
+                return Err(ScenarioError::DuplicateNode(w[0]));
+            }
+        }
+        Ok(Scenario { actors })
+    }
+
+    /// **Ideal workload**: only the activity center (client 0) accesses the
+    /// object — writes with probability `p`, reads otherwise.
+    pub fn ideal(p: f64) -> Result<Self, ScenarioError> {
+        Scenario::new(vec![ActorSpec { node: NodeId(0), read_prob: snap(1.0 - p), write_prob: p }])
+    }
+
+    /// **Read disturbance** (paper §4.2): the activity center (client 0)
+    /// writes with probability `p` and reads with probability `1-p-aσ`;
+    /// each of the `a` clients `1..=a` reads with probability `σ`
+    /// (homogeneous case).
+    pub fn read_disturbance(p: f64, sigma: f64, a: usize) -> Result<Self, ScenarioError> {
+        let mut actors = vec![ActorSpec {
+            node: NodeId(0),
+            read_prob: snap(1.0 - p - a as f64 * sigma),
+            write_prob: p,
+        }];
+        actors.extend((1..=a).map(|k| ActorSpec {
+            node: NodeId(k as u16),
+            read_prob: sigma,
+            write_prob: 0.0,
+        }));
+        Scenario::new(actors)
+    }
+
+    /// **Write disturbance** (paper §4.2): the activity center (client 0)
+    /// writes with probability `p` and reads with probability `1-p-aξ`;
+    /// each of the `a` clients `1..=a` writes with probability `ξ`
+    /// (homogeneous case).
+    pub fn write_disturbance(p: f64, xi: f64, a: usize) -> Result<Self, ScenarioError> {
+        let mut actors = vec![ActorSpec {
+            node: NodeId(0),
+            read_prob: snap(1.0 - p - a as f64 * xi),
+            write_prob: p,
+        }];
+        actors.extend((1..=a).map(|k| ActorSpec {
+            node: NodeId(k as u16),
+            read_prob: 0.0,
+            write_prob: xi,
+        }));
+        Scenario::new(actors)
+    }
+
+    /// **Multiple activity centers** (paper §4.2, homogeneous case): `β`
+    /// clients (`0..β`), each writing with probability `p/β` and reading
+    /// with probability `(1-p)/β`, so the total write probability is `p`.
+    pub fn multiple_centers(p: f64, beta: usize) -> Result<Self, ScenarioError> {
+        assert!(beta > 0, "multiple_centers requires at least one center");
+        let b = beta as f64;
+        Scenario::new(
+            (0..beta)
+                .map(|k| ActorSpec {
+                    node: NodeId(k as u16),
+                    read_prob: (1.0 - p) / b,
+                    write_prob: p / b,
+                })
+                .collect(),
+        )
+    }
+
+    /// Total steady-state write probability across all actors.
+    pub fn total_write_prob(&self) -> f64 {
+        self.actors.iter().map(|a| a.write_prob).sum()
+    }
+
+    /// Highest client index used, for sizing a [`crate::SystemParams`].
+    pub fn max_node(&self) -> NodeId {
+        self.actors.iter().map(|a| a.node).max().expect("scenario is non-empty")
+    }
+
+    /// Enumerate the sample space as `(node, op, probability)` triples,
+    /// omitting zero-probability events.
+    pub fn events(&self) -> impl Iterator<Item = (NodeId, OpKind, f64)> + '_ {
+        self.actors.iter().flat_map(|a| {
+            [(a.node, OpKind::Read, a.read_prob), (a.node, OpKind::Write, a.write_prob)]
+                .into_iter()
+                .filter(|&(_, _, p)| p > 0.0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_disturbance_probabilities() {
+        let s = Scenario::read_disturbance(0.2, 0.05, 4).unwrap();
+        assert_eq!(s.actors.len(), 5);
+        let ac = &s.actors[0];
+        assert!((ac.read_prob - (1.0 - 0.2 - 4.0 * 0.05)).abs() < 1e-12);
+        assert!((ac.write_prob - 0.2).abs() < 1e-12);
+        assert!((s.total_write_prob() - 0.2).abs() < 1e-12);
+        let total: f64 = s.events().map(|(_, _, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_disturbance_probabilities() {
+        let s = Scenario::write_disturbance(0.1, 0.05, 2).unwrap();
+        assert!((s.total_write_prob() - (0.1 + 2.0 * 0.05)).abs() < 1e-12);
+        assert_eq!(s.actors[1].read_prob, 0.0);
+    }
+
+    #[test]
+    fn multiple_centers_probabilities() {
+        let s = Scenario::multiple_centers(0.3, 3).unwrap();
+        assert_eq!(s.actors.len(), 3);
+        for a in &s.actors {
+            assert!((a.write_prob - 0.1).abs() < 1e-12);
+            assert!((a.read_prob - 0.7 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_oversubscribed() {
+        // p + aσ > 1 makes the activity-center read probability negative.
+        assert!(matches!(
+            Scenario::read_disturbance(0.9, 0.2, 3),
+            Err(ScenarioError::ProbabilityOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_sums() {
+        let dup = vec![
+            ActorSpec { node: NodeId(1), read_prob: 0.5, write_prob: 0.0 },
+            ActorSpec { node: NodeId(1), read_prob: 0.5, write_prob: 0.0 },
+        ];
+        assert!(matches!(Scenario::new(dup), Err(ScenarioError::DuplicateNode(_))));
+        let short = vec![ActorSpec { node: NodeId(0), read_prob: 0.5, write_prob: 0.0 }];
+        assert!(matches!(Scenario::new(short), Err(ScenarioError::DoesNotSumToOne(_))));
+        assert!(matches!(Scenario::new(vec![]), Err(ScenarioError::Empty)));
+    }
+
+    #[test]
+    fn ideal_is_single_actor() {
+        let s = Scenario::ideal(0.25).unwrap();
+        assert_eq!(s.actors.len(), 1);
+        assert_eq!(s.max_node(), NodeId(0));
+        // Ideal with p=0 has a zero-probability write event that must be
+        // omitted from the sample space.
+        let s0 = Scenario::ideal(0.0).unwrap();
+        assert_eq!(s0.events().count(), 1);
+    }
+}

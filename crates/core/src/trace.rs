@@ -1,0 +1,52 @@
+//! Trace signatures — the shared key under which the analytic engine and
+//! the simulator aggregate operation executions.
+//!
+//! The paper (§4.1) shows that for a given protocol every operation
+//! execution results in exactly one *trace of actions* `tr_h` from a finite
+//! set `TR`, with a fixed communication cost `cc_h`. We identify a trace by
+//! the observable triple *(initiating node, operation kind, total
+//! communication cost)*: two executions with the same signature are the
+//! same trace for accounting purposes, because the steady-state average
+//! cost `acc = Σ_h π_h · cc_h` only depends on costs and their
+//! probabilities.
+
+use crate::ids::NodeId;
+use crate::scenario::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Observable signature of one operation execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TraceSig {
+    /// Node whose application process initiated the operation.
+    pub initiator: NodeId,
+    /// Read or write.
+    pub op: OpKind,
+    /// Total communication cost of the trace (sum of inter-node message
+    /// costs in units of the paper's cost model).
+    pub cost: u64,
+}
+
+impl std::fmt::Display for TraceSig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} (cc={})", self.initiator, self.op, self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let t = TraceSig { initiator: NodeId(1), op: OpKind::Write, cost: 33 };
+        assert_eq!(t.to_string(), "n1 write (cc=33)");
+    }
+
+    #[test]
+    fn ordering_groups_by_initiator_then_op() {
+        let a = TraceSig { initiator: NodeId(0), op: OpKind::Read, cost: 5 };
+        let b = TraceSig { initiator: NodeId(0), op: OpKind::Write, cost: 0 };
+        let c = TraceSig { initiator: NodeId(1), op: OpKind::Read, cost: 0 };
+        assert!(a < b && b < c);
+    }
+}

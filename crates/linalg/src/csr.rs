@@ -1,0 +1,203 @@
+//! Compressed-sparse-row matrices built from coordinate triplets.
+
+/// Accumulator of `(row, col, value)` triplets; duplicate coordinates are
+/// summed when the matrix is compressed.
+#[derive(Debug, Clone)]
+pub struct Triplets {
+    n_rows: usize,
+    n_cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Triplets {
+    /// New accumulator for an `n_rows × n_cols` matrix.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        Triplets { n_rows, n_cols, entries: Vec::new() }
+    }
+
+    /// Record `A[i][j] += v`. Zero values are skipped.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        if v != 0.0 {
+            self.entries.push((i as u32, j as u32, v));
+        }
+    }
+
+    /// Number of recorded (pre-deduplication) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compress into CSR form, summing duplicates.
+    pub fn build(mut self) -> Csr {
+        self.entries.sort_unstable_by_key(|&(i, j, _)| (i, j));
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(self.entries.len());
+        let mut counts = vec![0usize; self.n_rows];
+        let mut iter = self.entries.into_iter().peekable();
+        while let Some((i, j, mut v)) = iter.next() {
+            while let Some(&(i2, j2, v2)) = iter.peek() {
+                if i2 == i && j2 == j {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            col_idx.push(j);
+            vals.push(v);
+            counts[i as usize] += 1;
+        }
+        let mut row_ptr = vec![0usize; self.n_rows + 1];
+        for r in 0..self.n_rows {
+            row_ptr[r + 1] = row_ptr[r] + counts[r];
+        }
+        Csr { n_rows: self.n_rows, n_cols: self.n_cols, row_ptr, col_idx, vals }
+    }
+}
+
+/// An immutable CSR sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Iterate the non-zeros of row `i` as `(col, value)`.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi].iter().zip(&self.vals[lo..hi]).map(|(&j, &v)| (j as usize, v))
+    }
+
+    /// `y = x·A` (row vector times matrix), accumulating into `y`, which
+    /// is zeroed first.
+    pub fn left_mul_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_rows, "x length must equal row count");
+        assert_eq!(y.len(), self.n_cols, "y length must equal column count");
+        y.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for (k, &j) in self.col_idx[lo..hi].iter().enumerate() {
+                y[j as usize] += xi * self.vals[lo + k];
+            }
+        }
+    }
+
+    /// Sum of each row (for a transition matrix these must all be 1).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.n_rows).map(|i| self.row(i).map(|(_, v)| v).sum()).collect()
+    }
+
+    /// Expand into a dense matrix (test/diagnostic helper; avoid on large
+    /// chains).
+    pub fn to_dense(&self) -> crate::Dense {
+        let mut d = crate::Dense::zeros(self.n_rows, self.n_cols);
+        for i in 0..self.n_rows {
+            for (j, v) in self.row(i) {
+                d[(i, j)] += v;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_iterate() {
+        let mut t = Triplets::new(3, 3);
+        t.add(0, 1, 2.0);
+        t.add(2, 0, 5.0);
+        t.add(0, 1, 3.0); // duplicate: summed
+        t.add(1, 1, 1.0);
+        let m = t.build();
+        assert_eq!(m.nnz(), 3);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(1, 5.0)]);
+        let row2: Vec<_> = m.row(2).collect();
+        assert_eq!(row2, vec![(0, 5.0)]);
+    }
+
+    #[test]
+    fn empty_rows_are_skipped() {
+        let mut t = Triplets::new(4, 4);
+        t.add(3, 3, 1.0);
+        let m = t.build();
+        assert_eq!(m.row(0).count(), 0);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(2).count(), 0);
+        assert_eq!(m.row(3).count(), 1);
+    }
+
+    #[test]
+    fn zero_values_dropped() {
+        let mut t = Triplets::new(2, 2);
+        t.add(0, 0, 0.0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let m = t.build();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn left_mul_matches_dense() {
+        let mut t = Triplets::new(2, 3);
+        t.add(0, 0, 1.0);
+        t.add(0, 2, 2.0);
+        t.add(1, 1, 3.0);
+        let m = t.build();
+        let mut y = vec![0.0; 3];
+        m.left_mul_into(&[2.0, 4.0], &mut y);
+        assert_eq!(y, vec![2.0, 12.0, 4.0]);
+        let d = m.to_dense();
+        assert_eq!(d.left_mul(&[2.0, 4.0]).unwrap(), y);
+    }
+
+    #[test]
+    fn row_sums() {
+        let mut t = Triplets::new(2, 2);
+        t.add(0, 0, 0.25);
+        t.add(0, 1, 0.75);
+        t.add(1, 0, 1.0);
+        let m = t.build();
+        let sums = m.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-15);
+        assert!((sums[1] - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,261 @@
+//! Stationary distributions of finite Markov chains.
+//!
+//! A chain is given as a row-stochastic transition matrix `P`; the
+//! stationary distribution `π` satisfies `π·P = π`, `Σπ = 1`, `π ≥ 0`.
+//! Two solvers are provided:
+//!
+//! * [`stationary_power`] — damped power iteration on sparse CSR chains.
+//!   Iterating the *lazy* chain `(I + P)/2` has the same stationary
+//!   distribution and is aperiodic by construction, so the iteration
+//!   converges for every chain with a single recurrent class reachable
+//!   from the initial mass.
+//! * [`stationary_dense`] — direct solve of `(Pᵀ − I)π = 0` with the
+//!   normalization row for small dense chains; used as ground truth in
+//!   tests and for chains with poor spectral gaps.
+
+use crate::{Csr, Dense, LinalgError};
+
+/// Options for the power-iteration solver.
+#[derive(Debug, Clone, Copy)]
+pub struct StationaryOpts {
+    /// L1 convergence tolerance between successive iterates.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for StationaryOpts {
+    fn default() -> Self {
+        StationaryOpts { tol: 1e-14, max_iter: 200_000 }
+    }
+}
+
+/// Errors from the stationary solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StationaryError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A row does not sum to 1 (not a stochastic matrix).
+    NotStochastic {
+        /// Offending row.
+        row: usize,
+        /// Its sum.
+        sum: f64,
+    },
+    /// Power iteration did not reach tolerance within the iteration cap.
+    NoConvergence {
+        /// Final L1 difference between iterates.
+        residual: f64,
+    },
+    /// The dense solve failed (multiple recurrent classes make the system
+    /// singular).
+    Linalg(LinalgError),
+}
+
+impl std::fmt::Display for StationaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StationaryError::NotSquare => write!(f, "transition matrix is not square"),
+            StationaryError::NotStochastic { row, sum } => {
+                write!(f, "row {row} sums to {sum}, expected 1")
+            }
+            StationaryError::NoConvergence { residual } => {
+                write!(f, "power iteration stalled at L1 residual {residual}")
+            }
+            StationaryError::Linalg(e) => write!(f, "dense stationary solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StationaryError {}
+
+fn check_stochastic_rows(sums: &[f64]) -> Result<(), StationaryError> {
+    for (row, &sum) in sums.iter().enumerate() {
+        if (sum - 1.0).abs() > 1e-8 {
+            return Err(StationaryError::NotStochastic { row, sum });
+        }
+    }
+    Ok(())
+}
+
+/// Stationary distribution of a sparse row-stochastic chain by damped
+/// power iteration, starting from the uniform distribution.
+pub fn stationary_power(p: &Csr, opts: StationaryOpts) -> Result<Vec<f64>, StationaryError> {
+    let n = p.n_rows();
+    if p.n_cols() != n {
+        return Err(StationaryError::NotSquare);
+    }
+    check_stochastic_rows(&p.row_sums())?;
+    let mut x = vec![1.0 / n as f64; n];
+    let mut y = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for _ in 0..opts.max_iter {
+        p.left_mul_into(&x, &mut y);
+        // Lazy-chain step: x' = (x + x·P)/2, renormalized to guard
+        // against floating-point drift.
+        let mut norm = 0.0;
+        for (yi, xi) in y.iter_mut().zip(&x) {
+            *yi = 0.5 * (*yi + *xi);
+            norm += *yi;
+        }
+        let inv = 1.0 / norm;
+        residual = 0.0;
+        for (xi, yi) in x.iter_mut().zip(&mut y) {
+            *yi *= inv;
+            residual += (*yi - *xi).abs();
+            *xi = *yi;
+        }
+        if residual < opts.tol {
+            return Ok(x);
+        }
+    }
+    Err(StationaryError::NoConvergence { residual })
+}
+
+/// Stationary distribution of a dense row-stochastic chain by direct
+/// linear solve: replace the last equation of `(Pᵀ − I)π = 0` with the
+/// normalization `Σπ = 1`.
+pub fn stationary_dense(p: &Dense) -> Result<Vec<f64>, StationaryError> {
+    let n = p.rows();
+    if p.cols() != n {
+        return Err(StationaryError::NotSquare);
+    }
+    let sums: Vec<f64> = (0..n).map(|i| p.row(i).iter().sum()).collect();
+    check_stochastic_rows(&sums)?;
+    let mut a = p.transpose();
+    for i in 0..n {
+        a[(i, i)] -= 1.0;
+    }
+    for j in 0..n {
+        a[(n - 1, j)] = 1.0;
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+    let pi = a.solve(&b).map_err(StationaryError::Linalg)?;
+    Ok(pi)
+}
+
+/// L1 residual `‖π·P − π‖₁`, for verifying a candidate distribution.
+pub fn residual(p: &Csr, pi: &[f64]) -> f64 {
+    let mut y = vec![0.0; pi.len()];
+    p.left_mul_into(pi, &mut y);
+    y.iter().zip(pi).map(|(a, b)| (a - b).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplets;
+
+    fn two_state(alpha: f64, beta: f64) -> Csr {
+        // 0 -> 1 with prob alpha; 1 -> 0 with prob beta.
+        let mut t = Triplets::new(2, 2);
+        t.add(0, 0, 1.0 - alpha);
+        t.add(0, 1, alpha);
+        t.add(1, 0, beta);
+        t.add(1, 1, 1.0 - beta);
+        t.build()
+    }
+
+    #[test]
+    fn two_state_closed_form() {
+        let (alpha, beta) = (0.3, 0.7);
+        let p = two_state(alpha, beta);
+        let pi = stationary_power(&p, StationaryOpts::default()).unwrap();
+        // π = (β, α)/(α+β).
+        assert!((pi[0] - beta / (alpha + beta)).abs() < 1e-10);
+        assert!((pi[1] - alpha / (alpha + beta)).abs() < 1e-10);
+        assert!(residual(&p, &pi) < 1e-10);
+    }
+
+    #[test]
+    fn periodic_chain_converges_via_lazy_damping() {
+        // Pure alternation 0 <-> 1: period 2; undamped iteration from a
+        // non-uniform start would oscillate.
+        let p = two_state(1.0, 1.0);
+        let pi = stationary_power(&p, StationaryOpts::default()).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dense_matches_power() {
+        let p = two_state(0.2, 0.05);
+        let pd = stationary_dense(&p.to_dense()).unwrap();
+        let pp = stationary_power(&p, StationaryOpts::default()).unwrap();
+        for (a, b) in pd.iter().zip(&pp) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transient_states_get_zero_mass() {
+        // 0 -> 1 always; 1 -> 1. State 0 is transient.
+        let mut t = Triplets::new(2, 2);
+        t.add(0, 1, 1.0);
+        t.add(1, 1, 1.0);
+        let p = t.build();
+        let pi = stationary_power(&p, StationaryOpts::default()).unwrap();
+        assert!(pi[0] < 1e-9);
+        assert!((pi[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_stochastic() {
+        let mut t = Triplets::new(2, 2);
+        t.add(0, 0, 0.5);
+        t.add(1, 1, 1.0);
+        let p = t.build();
+        assert!(matches!(
+            stationary_power(&p, StationaryOpts::default()),
+            Err(StationaryError::NotStochastic { row: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn identity_chain_keeps_uniform_start() {
+        // Every state absorbing: the start vector is already stationary.
+        let mut t = Triplets::new(3, 3);
+        for i in 0..3 {
+            t.add(i, i, 1.0);
+        }
+        let pi = stationary_power(&t.build(), StationaryOpts::default()).unwrap();
+        for v in pi {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::Triplets;
+    use proptest::prelude::*;
+
+    fn random_stochastic(n: usize, seed_rows: Vec<Vec<f64>>) -> Csr {
+        let mut t = Triplets::new(n, n);
+        for (i, row) in seed_rows.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            for (j, &v) in row.iter().enumerate() {
+                t.add(i, j, v / sum);
+            }
+        }
+        t.build()
+    }
+
+    proptest! {
+        #[test]
+        fn power_agrees_with_dense(rows in proptest::collection::vec(
+            proptest::collection::vec(0.01f64..1.0, 4), 4)
+        ) {
+            let p = random_stochastic(4, rows);
+            let pp = stationary_power(&p, StationaryOpts::default()).unwrap();
+            let pd = stationary_dense(&p.to_dense()).unwrap();
+            let sum: f64 = pp.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-10);
+            for (a, b) in pp.iter().zip(&pd) {
+                prop_assert!((a - b).abs() < 1e-8, "power {a} vs dense {b}");
+            }
+            prop_assert!(residual(&p, &pp) < 1e-10);
+        }
+    }
+}

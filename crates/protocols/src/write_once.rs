@@ -1,0 +1,462 @@
+//! The distributed **Write-Once** protocol (paper Appendix A, Figure 10).
+//!
+//! A hybrid of write-through and ownership: the *first* write to a copy is
+//! written through to the sequencer exactly like Write-Through (the copy
+//! becomes `RESERVED`), a *second* write notifies the sequencer that the
+//! copy is going `DIRTY` (one token — from then on the sequencer's copy is
+//! stale), and all further writes are free. Per the paper's note on
+//! Figure 10, a client write moves the sequencer's copy from `VALID` to
+//! `INVALID` only when the writing client's copy is `RESERVED` or
+//! `INVALID`.
+//!
+//! The sequencer tracks the dirty owner (it learns it from the DIRTY-NOTE
+//! or from granting an exclusive fetch), so recalls are targeted like
+//! Illinois's.
+//!
+//! `RESERVED` must be *exclusive* — the silent local `R → D` write is only
+//! coherent if no other client holds a valid copy. The bus protocol gets
+//! this by snooping (a remote read miss downgrades `RESERVED → VALID` on
+//! the bus); here the sequencer tracks the reserved/dirty holder in its
+//! owner register and sends a one-token downgrade `RECALL` before serving
+//! a read miss while a `RESERVED` copy exists (the holder's copy is clean,
+//! so no flush is needed — the miss costs `S+3` instead of `S+2`).
+
+use repmem_core::{
+    protocol_error, Actions, CoherenceProtocol, CopyState, Dest, Msg, MsgKind, OpKind,
+    PayloadKind, ProtocolKind, Role,
+};
+
+/// The distributed Write-Once protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteOnce;
+
+impl WriteOnce {
+    fn client_step(&self, env: &mut dyn Actions, state: CopyState, msg: &Msg) -> CopyState {
+        use CopyState::*;
+        let home = env.home();
+        match (msg.kind, state) {
+            (MsgKind::RReq, Valid | Reserved | Dirty) => {
+                env.ret();
+                state
+            }
+            (MsgKind::RReq, Invalid) => {
+                env.push(Dest::To(home), MsgKind::RPer, PayloadKind::Token);
+                env.disable_local();
+                Invalid
+            }
+            // First write: write through (the sequencer applies the
+            // parameters and invalidates the other clients).
+            (MsgKind::WReq, Valid) => {
+                env.change();
+                env.push(Dest::To(home), MsgKind::WPer, PayloadKind::Params);
+                Reserved
+            }
+            // Second write: local, but tell the sequencer its copy is now
+            // stale.
+            (MsgKind::WReq, Reserved) => {
+                env.change();
+                env.push(Dest::To(home), MsgKind::DirtyNote, PayloadKind::Token);
+                Dirty
+            }
+            (MsgKind::WReq, Dirty) => {
+                env.change();
+                Dirty
+            }
+            // Write miss: fetch the block, then write through.
+            (MsgKind::WReq, Invalid) => {
+                env.push(Dest::To(home), MsgKind::WPer, PayloadKind::Token);
+                env.disable_local();
+                Invalid
+            }
+            (MsgKind::RGnt, Invalid | Valid) => {
+                env.install();
+                env.ret();
+                env.enable_local();
+                Valid
+            }
+            // Exclusive fetch granted: install, apply, and complete the
+            // write-through leg.
+            (MsgKind::WGnt, Invalid | Valid) => {
+                env.install();
+                env.change();
+                env.push(Dest::To(home), MsgKind::Upd, PayloadKind::Params);
+                env.enable_local();
+                Reserved
+            }
+            (MsgKind::WInv, _) => Invalid,
+            (MsgKind::Recall, Dirty) => {
+                env.push(Dest::To(home), MsgKind::Flush, PayloadKind::Copy);
+                Valid
+            }
+            (MsgKind::RecallX, Dirty) => {
+                env.push(Dest::To(home), MsgKind::FlushX, PayloadKind::Copy);
+                Invalid
+            }
+            // Downgrade: another node is about to read; our clean
+            // exclusive copy becomes plain VALID. The sequencer already
+            // has the data, so no flush travels.
+            (MsgKind::Recall, Reserved) => Valid,
+            // A recall can cross our DIRTY-NOTE in flight and reach us
+            // after a concurrent downgrade already flushed us to VALID;
+            // answer with the (current) copy so the sequencer's recall
+            // always completes.
+            (MsgKind::Recall, Valid) => {
+                env.push(Dest::To(home), MsgKind::Flush, PayloadKind::Copy);
+                Valid
+            }
+            (MsgKind::Recall, Invalid) => state,
+            (MsgKind::RecallX, Invalid | Valid | Reserved) => Invalid,
+            (MsgKind::Retry, _) => {
+                let kind = match env.pending_op() {
+                    Some(OpKind::Read) => MsgKind::RPer,
+                    Some(OpKind::Write) => MsgKind::WPer,
+                    None => protocol_error(self.kind(), state, msg),
+                };
+                env.push(Dest::To(home), kind, PayloadKind::Token);
+                state
+            }
+            _ => protocol_error(self.kind(), state, msg),
+        }
+    }
+
+    fn seq_step(&self, env: &mut dyn Actions, state: CopyState, msg: &Msg) -> CopyState {
+        use CopyState::*;
+        let home = env.home();
+        match (msg.kind, state) {
+            (MsgKind::RReq, Valid) => {
+                env.ret();
+                Valid
+            }
+            (MsgKind::RReq, Invalid) => {
+                env.push(Dest::To(env.owner()), MsgKind::Recall, PayloadKind::Token);
+                env.disable_local();
+                Recalling
+            }
+            (MsgKind::WReq, Valid) => {
+                env.change();
+                env.push(Dest::AllExcept(home, None), MsgKind::WInv, PayloadKind::Token);
+                env.set_owner(home);
+                env.enable_local();
+                Valid
+            }
+            (MsgKind::WReq, Invalid) => {
+                env.push(Dest::To(env.owner()), MsgKind::RecallX, PayloadKind::Token);
+                env.disable_local();
+                Recalling
+            }
+            (MsgKind::RPer, Valid) => {
+                // Downgrade an exclusive RESERVED holder before handing
+                // out a shared copy.
+                if env.owner() != home {
+                    env.push(Dest::To(env.owner()), MsgKind::Recall, PayloadKind::Token);
+                    env.set_owner(home);
+                }
+                env.push(Dest::To(msg.initiator), MsgKind::RGnt, PayloadKind::Copy);
+                Valid
+            }
+            (MsgKind::RPer, Invalid) => {
+                env.push(Dest::To(env.owner()), MsgKind::Recall, PayloadKind::Token);
+                Recalling
+            }
+            // A VALID client's write-through: apply, invalidate others;
+            // the writer now holds the exclusive RESERVED copy.
+            (MsgKind::WPer, Valid) if msg.payload == PayloadKind::Params => {
+                env.change();
+                env.push(
+                    Dest::AllExcept(msg.initiator, Some(home)),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
+                env.set_owner(msg.initiator);
+                Valid
+            }
+            // An INVALID client's write miss: grant an exclusive fetch
+            // (its UPD write-through leg follows).
+            (MsgKind::WPer, Valid) => {
+                env.push(
+                    Dest::AllExcept(home, Some(msg.initiator)),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
+                env.push(Dest::To(msg.initiator), MsgKind::WGnt, PayloadKind::Copy);
+                env.set_owner(msg.initiator);
+                Valid
+            }
+            (MsgKind::WPer, Invalid) => {
+                env.push(Dest::To(env.owner()), MsgKind::RecallX, PayloadKind::Token);
+                Recalling
+            }
+            // The write-through leg of a write miss.
+            (MsgKind::Upd, Valid) => {
+                env.change();
+                env.push(
+                    Dest::AllExcept(msg.initiator, Some(home)),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
+                Valid
+            }
+            // A RESERVED copy went DIRTY: our copy is now stale. Only
+            // accept the note from the node our owner register says holds
+            // the RESERVED copy — a stale note (its sender was already
+            // invalidated by a grant it had not yet seen) is answered
+            // with an exclusive recall so its data merges back instead of
+            // forking the object.
+            (MsgKind::DirtyNote, Valid) if msg.initiator == env.owner() => {
+                Invalid
+            }
+            (MsgKind::DirtyNote, Valid | Invalid) => {
+                if msg.initiator != env.owner() {
+                    env.push(Dest::To(msg.initiator), MsgKind::RecallX, PayloadKind::Token);
+                }
+                state
+            }
+            // Defensive: an UPD (write-through leg) that raced past a
+            // DIRTY-NOTE; merge the parameters, no wave (the grant wave
+            // already ran).
+            (MsgKind::Upd, Invalid) => {
+                env.change();
+                Invalid
+            }
+            (MsgKind::RPer | MsgKind::WPer, Recalling) => {
+                env.push(Dest::To(msg.initiator), MsgKind::Retry, PayloadKind::Token);
+                Recalling
+            }
+            // The sequencer's own request while a recall is in flight:
+            // requeue it behind the pending flush.
+            (MsgKind::RReq | MsgKind::WReq, Recalling) => {
+                env.push(Dest::To(home), MsgKind::Retry, PayloadKind::Token);
+                env.disable_local();
+                Recalling
+            }
+            (MsgKind::Retry, _) => {
+                let (kind, payload) = match env.pending_op() {
+                    Some(OpKind::Read) => (MsgKind::RReq, PayloadKind::Token),
+                    Some(OpKind::Write) => (MsgKind::WReq, PayloadKind::Params),
+                    None => protocol_error(self.kind(), state, msg),
+                };
+                env.push(Dest::To(home), kind, payload);
+                state
+            }
+            (MsgKind::Flush, Recalling) => {
+                env.install();
+                env.set_owner(home);
+                if msg.initiator == home {
+                    env.ret();
+                    env.enable_local();
+                } else {
+                    env.push(Dest::To(msg.initiator), MsgKind::RGnt, PayloadKind::Copy);
+                }
+                Valid
+            }
+            (MsgKind::FlushX, Recalling) => {
+                env.install();
+                if msg.initiator == home {
+                    env.change();
+                    env.push(Dest::AllExcept(home, None), MsgKind::WInv, PayloadKind::Token);
+                    env.set_owner(home);
+                    env.enable_local();
+                    Valid
+                } else {
+                    env.push(Dest::To(msg.initiator), MsgKind::WGnt, PayloadKind::Copy);
+                    env.set_owner(msg.initiator);
+                    Valid
+                }
+            }
+            // An unsolicited flush from the node our owner register points
+            // at heals the DIRTY-NOTE/downgrade crossing race: the owner
+            // wrote back (and holds a VALID copy), so our copy is current
+            // again. Stale duplicate flushes from anyone else are dropped
+            // (the data install is version-checked by the host anyway).
+            (MsgKind::Flush, Invalid) if msg.sender == env.owner() => {
+                env.install();
+                env.set_owner(home);
+                Valid
+            }
+            (MsgKind::Flush | MsgKind::FlushX, Valid | Invalid) => {
+                env.install();
+                state
+            }
+            _ => protocol_error(self.kind(), state, msg),
+        }
+    }
+}
+
+impl CoherenceProtocol for WriteOnce {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::WriteOnce
+    }
+
+    fn initial_state(&self, role: Role) -> CopyState {
+        match role {
+            Role::Client => CopyState::Invalid,
+            Role::Sequencer => CopyState::Valid,
+        }
+    }
+
+    fn step(&self, env: &mut dyn Actions, state: CopyState, msg: &Msg) -> CopyState {
+        match self.role_of(env) {
+            Role::Client => self.client_step(env, state, msg),
+            Role::Sequencer => self.seq_step(env, state, msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app_req, net_msg, MockActions};
+    use repmem_core::NodeId;
+
+    const N: usize = 4;
+    const S: u64 = 100;
+    const P: u64 = 30;
+
+    #[test]
+    fn first_write_writes_through_to_reserved() {
+        let mut env = MockActions::client(0, N);
+        let s = { let m = app_req(&env, OpKind::Write); WriteOnce.step(&mut env, CopyState::Valid, &m) };
+        assert_eq!(s, CopyState::Reserved);
+        assert_eq!(env.changes, 1);
+        assert_eq!(env.disables, 0); // fire-and-forget like Write-Through
+        assert_eq!(env.cost(S, P), P + 1);
+
+        let mut seq = MockActions::sequencer(N);
+        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::WPer, 0, 0, PayloadKind::Params));
+        assert_eq!(s, CopyState::Valid);
+        assert_eq!(seq.changes, 1);
+        assert_eq!(seq.cost(S, P), (N - 1) as u64);
+        // Total first write: P+N, identical to Write-Through.
+    }
+
+    #[test]
+    fn second_write_sends_one_token_and_goes_dirty() {
+        let mut env = MockActions::client(0, N);
+        let s = { let m = app_req(&env, OpKind::Write); WriteOnce.step(&mut env, CopyState::Reserved, &m) };
+        assert_eq!(s, CopyState::Dirty);
+        assert_eq!(env.cost(S, P), 1);
+
+        // Sequencer marks itself stale (Fig. 10 note: write from
+        // RESERVED flips the sequencer VALID → INVALID). Its owner
+        // register already points at the RESERVED holder from the
+        // write-through.
+        let mut seq = MockActions::sequencer(N);
+        seq.owner = NodeId(0);
+        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::DirtyNote, 0, 0, PayloadKind::Token));
+        assert_eq!(s, CopyState::Invalid);
+        assert_eq!(seq.owner, NodeId(0));
+        assert!(seq.pushes.is_empty());
+
+        // A stale note from a node that is no longer the registered
+        // holder is answered with an exclusive recall instead.
+        let mut seq = MockActions::sequencer(N);
+        seq.owner = NodeId(2);
+        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::DirtyNote, 0, 0, PayloadKind::Token));
+        assert_eq!(s, CopyState::Valid);
+        assert_eq!(seq.pushes[0].kind, MsgKind::RecallX);
+        assert_eq!(seq.pushes[0].dest, Dest::To(NodeId(0)));
+    }
+
+    #[test]
+    fn third_write_is_free() {
+        let mut env = MockActions::client(0, N);
+        let s = { let m = app_req(&env, OpKind::Write); WriteOnce.step(&mut env, CopyState::Dirty, &m) };
+        assert_eq!(s, CopyState::Dirty);
+        assert_eq!(env.cost(S, P), 0);
+    }
+
+    #[test]
+    fn write_miss_fetches_then_writes_through() {
+        // Miss leg: W-PER token.
+        let mut env = MockActions::client(1, N);
+        let s = { let m = app_req(&env, OpKind::Write); WriteOnce.step(&mut env, CopyState::Invalid, &m) };
+        assert_eq!(s, CopyState::Invalid);
+        assert_eq!(env.cost(S, P), 1);
+
+        // Sequencer: invalidate others, grant copy.
+        let mut seq = MockActions::sequencer(N);
+        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::WPer, 1, 1, PayloadKind::Token));
+        assert_eq!(s, CopyState::Valid);
+        assert_eq!(seq.cost(S, P), (N - 1) as u64 + S + 1);
+
+        // Client: install, apply, write through, end RESERVED.
+        let mut env = MockActions::client(1, N);
+        let s = WriteOnce.step(&mut env, CopyState::Invalid, &net_msg(MsgKind::WGnt, 1, N as u16, PayloadKind::Copy));
+        assert_eq!(s, CopyState::Reserved);
+        assert_eq!(env.cost(S, P), P + 1);
+
+        // Sequencer applies the UPD leg (re-invalidation is harmless).
+        let mut seq = MockActions::sequencer(N);
+        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::Upd, 1, 1, PayloadKind::Params));
+        assert_eq!(s, CopyState::Valid);
+        assert_eq!(seq.cost(S, P), (N - 1) as u64);
+        // Total: 1 + (N-1) + (S+1) + (P+1) + (N-1) = S+P+2N.
+    }
+
+    #[test]
+    fn read_miss_on_dirty_is_targeted_2s_plus_4() {
+        let mut seq = MockActions::sequencer(N);
+        seq.owner = NodeId(0);
+        let s = WriteOnce.step(&mut seq, CopyState::Invalid, &net_msg(MsgKind::RPer, 2, 2, PayloadKind::Token));
+        assert_eq!(s, CopyState::Recalling);
+        assert_eq!(seq.cost(S, P), 1);
+
+        let mut owner = MockActions::client(0, N);
+        let s = WriteOnce.step(&mut owner, CopyState::Dirty, &net_msg(MsgKind::Recall, 2, N as u16, PayloadKind::Token));
+        assert_eq!(s, CopyState::Valid); // keeps a valid copy after write-back
+        assert_eq!(owner.cost(S, P), S + 1);
+
+        let mut seq = MockActions::sequencer(N);
+        let s = WriteOnce.step(&mut seq, CopyState::Recalling, &net_msg(MsgKind::Flush, 2, 0, PayloadKind::Copy));
+        assert_eq!(s, CopyState::Valid);
+        assert_eq!(seq.cost(S, P), S + 1);
+        // Total: 1 + 1 + (S+1) + (S+1) = 2S+4.
+    }
+
+    #[test]
+    fn read_miss_while_reserved_downgrades_holder_for_s_plus_3() {
+        // Sequencer: one downgrade token to the RESERVED holder, then the
+        // grant; owner register cleared.
+        let mut seq = MockActions::sequencer(N);
+        seq.owner = NodeId(0);
+        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::RPer, 2, 2, PayloadKind::Token));
+        assert_eq!(s, CopyState::Valid);
+        assert_eq!(seq.owner, NodeId(N as u16));
+        assert_eq!(seq.pushes[0].kind, MsgKind::Recall);
+        assert_eq!(seq.pushes[1].kind, MsgKind::RGnt);
+        assert_eq!(seq.cost(S, P), 1 + S + 1);
+
+        // Holder: silent downgrade, no flush (the copy is clean).
+        let mut holder = MockActions::client(0, N);
+        let s = WriteOnce.step(&mut holder, CopyState::Reserved, &net_msg(MsgKind::Recall, 2, N as u16, PayloadKind::Token));
+        assert_eq!(s, CopyState::Valid);
+        assert!(holder.pushes.is_empty());
+        // Total: 1 (R-PER) + 1 (downgrade) + (S+1) = S+3.
+    }
+
+    #[test]
+    fn write_through_records_reserved_holder() {
+        let mut seq = MockActions::sequencer(N);
+        WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::WPer, 1, 1, PayloadKind::Params));
+        assert_eq!(seq.owner, NodeId(1));
+    }
+
+    #[test]
+    fn reads_on_owned_states_are_free() {
+        for st in [CopyState::Valid, CopyState::Reserved, CopyState::Dirty] {
+            let mut env = MockActions::client(0, N);
+            let s = { let m = app_req(&env, OpKind::Read); WriteOnce.step(&mut env, st, &m) };
+            assert_eq!(s, st);
+            assert_eq!(env.cost(S, P), 0);
+        }
+    }
+
+    #[test]
+    fn invalidation_covers_reserved_and_dirty() {
+        for st in [CopyState::Valid, CopyState::Reserved, CopyState::Dirty, CopyState::Invalid] {
+            let mut env = MockActions::client(3, N);
+            let s = WriteOnce.step(&mut env, st, &net_msg(MsgKind::WInv, 0, N as u16, PayloadKind::Token));
+            assert_eq!(s, CopyState::Invalid);
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! The node threads, channels and the blocking application API.
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use repmem_core::{
+    Actions, CopyState, Dest, Msg, MsgKind, NodeId, ObjectId, OpKind, OpTag, PayloadKind,
+    ProtocolKind, QueueKind, Role, SystemParams,
+};
+use repmem_protocols::protocol;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Versioned replica payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Copy {
+    data: Bytes,
+    version: u64,
+}
+
+/// A message envelope on the wire.
+#[derive(Debug, Clone)]
+struct Envelope {
+    msg: Msg,
+    params: Option<Copy>,
+    copy: Option<Copy>,
+}
+
+enum Wire {
+    Net(Envelope),
+    Stop,
+}
+
+/// An application request delivered to the local protocol process.
+struct AppReq {
+    op: OpKind,
+    object: ObjectId,
+    data: Option<Bytes>,
+    reply: Sender<Bytes>,
+}
+
+/// Per-(node, object) protocol-process state.
+struct Proc {
+    state: CopyState,
+    owner: NodeId,
+    copy: Copy,
+}
+
+/// The in-flight application operation at a node.
+struct PendingApp {
+    op: OpKind,
+    object: ObjectId,
+    tag: OpTag,
+    data: Option<Copy>,
+    reply: Sender<Bytes>,
+    /// `true` once the protocol requires a response before completion.
+    blocked: bool,
+}
+
+struct NodeCtx {
+    me: NodeId,
+    sys: SystemParams,
+    kind: ProtocolKind,
+    peers: Vec<Sender<Wire>>,
+    procs: Vec<Proc>,
+    pending: Option<PendingApp>,
+    cost: Arc<AtomicU64>,
+    messages: Arc<AtomicU64>,
+}
+
+struct NodeHost<'a> {
+    me: NodeId,
+    sys: SystemParams,
+    peers: &'a [Sender<Wire>],
+    proc_: &'a mut Proc,
+    pending: &'a mut Option<PendingApp>,
+    env: &'a Envelope,
+    cost: &'a AtomicU64,
+    messages: &'a AtomicU64,
+    /// Set when `ret` fires (read completion).
+    returned: &'a mut bool,
+    /// Set when `enable_local` fires (blocked-write completion).
+    enabled: &'a mut bool,
+}
+
+impl NodeHost<'_> {
+    fn context_params(&self) -> Copy {
+        if let Some(p) = &self.env.params {
+            return p.clone();
+        }
+        if self.env.msg.initiator == self.me {
+            if let Some(p) = self.pending.as_ref().and_then(|p| p.data.clone()) {
+                return p;
+            }
+        }
+        panic!(
+            "node {}: no write parameters in scope for {:?}",
+            self.me, self.env.msg.kind
+        );
+    }
+}
+
+impl Actions for NodeHost<'_> {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn home(&self) -> NodeId {
+        self.sys.home()
+    }
+    fn n_nodes(&self) -> usize {
+        self.sys.n_nodes()
+    }
+    fn owner(&self) -> NodeId {
+        self.proc_.owner
+    }
+    fn set_owner(&mut self, owner: NodeId) {
+        self.proc_.owner = owner;
+    }
+    fn push(&mut self, dest: Dest, kind: MsgKind, payload: PayloadKind) {
+        let params = match payload {
+            PayloadKind::Params => Some(self.context_params()),
+            _ => None,
+        };
+        let copy = match payload {
+            PayloadKind::Copy => Some(self.proc_.copy.clone()),
+            _ => None,
+        };
+        let receivers: Vec<NodeId> = match dest {
+            Dest::To(n) => vec![n],
+            Dest::AllExcept(a, b) => (0..self.sys.n_nodes() as u16)
+                .map(NodeId)
+                .filter(|&n| n != a && Some(n) != b)
+                .collect(),
+        };
+        for r in receivers {
+            if r != self.me {
+                self.cost.fetch_add(self.sys.msg_cost(payload), Ordering::Relaxed);
+                self.messages.fetch_add(1, Ordering::Relaxed);
+            }
+            let msg = Msg {
+                kind,
+                initiator: self.env.msg.initiator,
+                sender: self.me,
+                object: self.env.msg.object,
+                queue: QueueKind::Distributed,
+                payload,
+                op: self.env.msg.op,
+            };
+            let env = Envelope { msg, params: params.clone(), copy: copy.clone() };
+            // A dropped peer only happens during shutdown.
+            let _ = self.peers[r.idx()].send(Wire::Net(env));
+        }
+    }
+    fn change(&mut self) {
+        let p = self.context_params();
+        if p.version >= self.proc_.copy.version {
+            self.proc_.copy = p;
+        }
+    }
+    fn install(&mut self) {
+        let incoming = self.env.copy.clone().expect("install without copy payload");
+        if incoming.version >= self.proc_.copy.version {
+            self.proc_.copy = incoming;
+        }
+    }
+    fn ret(&mut self) {
+        *self.returned = true;
+    }
+    fn disable_local(&mut self) {
+        if let Some(p) = self.pending.as_mut() {
+            p.blocked = true;
+        }
+    }
+    fn enable_local(&mut self) {
+        *self.enabled = true;
+    }
+    fn pending_op(&self) -> Option<OpKind> {
+        self.pending.as_ref().map(|p| p.op)
+    }
+}
+
+impl NodeCtx {
+    fn proc_index(&self, object: ObjectId) -> usize {
+        object.idx()
+    }
+
+    /// Run one machine step; returns (returned, enabled) completion flags.
+    fn step(&mut self, env: &Envelope) -> (bool, bool) {
+        let proto = protocol(self.kind);
+        let idx = self.proc_index(env.msg.object);
+        let state = self.procs[idx].state;
+        let mut returned = false;
+        let mut enabled = false;
+        let next = {
+            let mut host = NodeHost {
+                me: self.me,
+                sys: self.sys,
+                peers: &self.peers,
+                proc_: &mut self.procs[idx],
+                pending: &mut self.pending,
+                env,
+                cost: &self.cost,
+                messages: &self.messages,
+                returned: &mut returned,
+                enabled: &mut enabled,
+            };
+            proto.step(&mut host, state, &env.msg)
+        };
+        self.procs[idx].state = next;
+        (returned, enabled)
+    }
+
+    fn handle_env(&mut self, env: Envelope) {
+        let (returned, enabled) = self.step(&env);
+        self.complete_if_done(returned, enabled, env.msg.op);
+    }
+
+    fn complete_if_done(&mut self, returned: bool, enabled: bool, tag: OpTag) {
+        let Some(p) = self.pending.as_ref() else { return };
+        if p.tag != tag {
+            return;
+        }
+        let done = match p.op {
+            OpKind::Read => returned,
+            OpKind::Write => enabled || !p.blocked,
+        };
+        if done {
+            let p = self.pending.take().expect("checked above");
+            let value = self.procs[self.proc_index(p.object)].copy.data.clone();
+            let _ = p.reply.send(value);
+        }
+    }
+
+    fn handle_app(&mut self, req: AppReq, tag: OpTag) {
+        assert!(self.pending.is_none(), "node {}: one operation at a time", self.me);
+        let is_home = self.me == self.sys.home();
+        let kind = match req.op {
+            OpKind::Read => MsgKind::RReq,
+            OpKind::Write => MsgKind::WReq,
+        };
+        let msg = Msg::app_request(kind, self.me, is_home, req.object, tag);
+        let data = req.data.map(|d| Copy { data: d, version: tag.0 + 1 });
+        self.pending = Some(PendingApp {
+            op: req.op,
+            object: req.object,
+            tag,
+            data: data.clone(),
+            reply: req.reply,
+            blocked: false,
+        });
+        let env = Envelope { msg, params: data, copy: None };
+        let (returned, enabled) = self.step(&env);
+        self.complete_if_done(returned, enabled, tag);
+    }
+}
+
+/// A running DSM cluster of `N+1` node threads.
+pub struct Cluster {
+    sys: SystemParams,
+    local_txs: Vec<Sender<(AppReq, OpTag)>>,
+    dist_txs: Vec<Sender<Wire>>,
+    threads: Vec<JoinHandle<Vec<(CopyState, Bytes, u64)>>>,
+    cost: Arc<AtomicU64>,
+    messages: Arc<AtomicU64>,
+    next_tag: Arc<AtomicU64>,
+    dump: Mutex<Option<ClusterDump>>,
+}
+
+/// Final per-node replica snapshot returned by [`Cluster::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ClusterDump {
+    /// `copies[node][object] = (state, data, version)`.
+    pub copies: Vec<Vec<(CopyState, Bytes, u64)>>,
+}
+
+impl ClusterDump {
+    /// All readable replicas of every object agree on the newest data.
+    pub fn is_coherent(&self) -> bool {
+        let objects = self.copies.first().map_or(0, Vec::len);
+        for obj in 0..objects {
+            let latest = self.copies.iter().map(|n| n[obj].2).max().unwrap_or(0);
+            for node in &self.copies {
+                let (state, _, version) = &node[obj];
+                if state.readable() && *version != latest {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A cloneable application-side handle bound to one node.
+#[derive(Clone)]
+pub struct Handle {
+    node: NodeId,
+    local_tx: Sender<(AppReq, OpTag)>,
+    next_tag: Arc<AtomicU64>,
+}
+
+impl Handle {
+    /// Read the shared object through this node's replica (blocking).
+    pub fn read(&self, object: ObjectId) -> Bytes {
+        self.request(OpKind::Read, object, None)
+    }
+
+    /// Write the shared object (blocking until the protocol considers the
+    /// operation issued; fire-and-forget protocols return as soon as the
+    /// write is on the wire).
+    pub fn write(&self, object: ObjectId, data: Bytes) {
+        self.request(OpKind::Write, object, Some(data));
+    }
+
+    fn request(&self, op: OpKind, object: ObjectId, data: Option<Bytes>) -> Bytes {
+        let (reply_tx, reply_rx) = bounded(1);
+        let tag = OpTag(self.next_tag.fetch_add(1, Ordering::Relaxed));
+        self.local_tx
+            .send((AppReq { op, object, data, reply: reply_tx }, tag))
+            .unwrap_or_else(|_| panic!("node {} is shut down", self.node));
+        reply_rx.recv().unwrap_or_else(|_| panic!("node {} dropped a request", self.node))
+    }
+}
+
+impl Cluster {
+    /// Spawn the `N+1` node threads.
+    pub fn new(sys: SystemParams, kind: ProtocolKind) -> Cluster {
+        let n = sys.n_nodes();
+        let cost = Arc::new(AtomicU64::new(0));
+        let messages = Arc::new(AtomicU64::new(0));
+        let mut dist_txs = Vec::with_capacity(n);
+        let mut dist_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Wire>();
+            dist_txs.push(tx);
+            dist_rxs.push(rx);
+        }
+        let mut local_txs = Vec::with_capacity(n);
+        let mut threads = Vec::with_capacity(n);
+        let proto = protocol(kind);
+        for (i, dist_rx) in dist_rxs.into_iter().enumerate() {
+            let me = NodeId(i as u16);
+            let (local_tx, local_rx) = unbounded::<(AppReq, OpTag)>();
+            local_txs.push(local_tx);
+            let role = if me == sys.home() { Role::Sequencer } else { Role::Client };
+            let procs: Vec<Proc> = (0..sys.m_objects)
+                .map(|_| Proc {
+                    state: proto.initial_state(role),
+                    owner: sys.home(),
+                    copy: Copy { data: Bytes::new(), version: 0 },
+                })
+                .collect();
+            let mut ctx = NodeCtx {
+                me,
+                sys,
+                kind,
+                peers: dist_txs.clone(),
+                procs,
+                pending: None,
+                cost: Arc::clone(&cost),
+                messages: Arc::clone(&messages),
+            };
+            threads.push(std::thread::spawn(move || {
+                node_loop(&mut ctx, dist_rx, local_rx);
+                ctx.procs
+                    .into_iter()
+                    .map(|p| (p.state, p.copy.data, p.copy.version))
+                    .collect()
+            }));
+        }
+        Cluster {
+            sys,
+            local_txs,
+            dist_txs,
+            threads,
+            cost,
+            messages,
+            next_tag: Arc::new(AtomicU64::new(1)),
+            dump: Mutex::new(None),
+        }
+    }
+
+    /// An application handle bound to `node`.
+    pub fn handle(&self, node: NodeId) -> Handle {
+        assert!(node.idx() < self.sys.n_nodes(), "no such node");
+        Handle {
+            node,
+            local_tx: self.local_txs[node.idx()].clone(),
+            next_tag: Arc::clone(&self.next_tag),
+        }
+    }
+
+    /// Total communication cost accumulated so far, in the paper's units.
+    pub fn total_cost(&self) -> u64 {
+        self.cost.load(Ordering::Relaxed)
+    }
+
+    /// Total inter-node messages sent so far.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// System parameters this cluster runs with.
+    pub fn system(&self) -> SystemParams {
+        self.sys
+    }
+
+    /// Stop all node threads and return the final replica snapshot.
+    pub fn shutdown(mut self) -> ClusterDump {
+        // Give in-flight fire-and-forget cascades a moment to drain: the
+        // channels are FIFO, so a Stop behind them is processed last.
+        for tx in &self.dist_txs {
+            let _ = tx.send(Wire::Stop);
+        }
+        let copies: Vec<_> = self
+            .threads
+            .drain(..)
+            .map(|t| t.join().expect("node thread panicked"))
+            .collect();
+        let dump = ClusterDump { copies };
+        *self.dump.lock() = Some(dump.clone());
+        dump
+    }
+}
+
+fn node_loop(
+    ctx: &mut NodeCtx,
+    dist_rx: Receiver<Wire>,
+    local_rx: Receiver<(AppReq, OpTag)>,
+) {
+    let mut local_open = true;
+    loop {
+        // Distributed messages take priority (global sequencing).
+        match dist_rx.try_recv() {
+            Ok(Wire::Net(env)) => {
+                ctx.handle_env(env);
+                continue;
+            }
+            Ok(Wire::Stop) => return,
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => return,
+        }
+        // Accept a local request only when none is in flight.
+        if ctx.pending.is_none() && local_open {
+            crossbeam::channel::select! {
+                recv(dist_rx) -> w => match w {
+                    Ok(Wire::Net(env)) => ctx.handle_env(env),
+                    Ok(Wire::Stop) | Err(_) => return,
+                },
+                recv(local_rx) -> r => match r {
+                    Ok((req, tag)) => ctx.handle_app(req, tag),
+                    Err(_) => local_open = false,
+                },
+            }
+        } else {
+            match dist_rx.recv() {
+                Ok(Wire::Net(env)) => ctx.handle_env(env),
+                Ok(Wire::Stop) | Err(_) => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> SystemParams {
+        SystemParams { n_clients: 4, s: 64, p: 16, m_objects: 4 }
+    }
+
+    #[test]
+    fn read_your_writes_everywhere() {
+        for kind in ProtocolKind::ALL {
+            let cluster = Cluster::new(sys(), kind);
+            for node in [NodeId(0), NodeId(2), sys().home()] {
+                let h = cluster.handle(node);
+                let payload = Bytes::from(format!("{kind:?}@{node}"));
+                h.write(ObjectId(1), payload.clone());
+                assert_eq!(h.read(ObjectId(1)), payload, "{kind:?} at {node}");
+            }
+            cluster.shutdown();
+        }
+    }
+
+    #[test]
+    fn cross_node_visibility() {
+        for kind in ProtocolKind::ALL {
+            let cluster = Cluster::new(sys(), kind);
+            let writer = cluster.handle(NodeId(0));
+            let reader = cluster.handle(NodeId(3));
+            writer.write(ObjectId(2), Bytes::from_static(b"shared"));
+            // Blocking write + blocking read through the sequencer gives
+            // the reader the new value for every protocol in a quiet
+            // system... modulo in-flight invalidations for the
+            // fire-and-forget write protocols, so retry briefly.
+            let mut seen = reader.read(ObjectId(2));
+            for _ in 0..100 {
+                if &seen[..] == b"shared" {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                seen = reader.read(ObjectId(2));
+            }
+            assert_eq!(&seen[..], b"shared", "{kind:?}");
+            cluster.shutdown();
+        }
+    }
+
+    #[test]
+    fn costs_match_the_model_for_serial_write_through_usage() {
+        let sys = sys();
+        let cluster = Cluster::new(sys, ProtocolKind::WriteThrough);
+        let h = cluster.handle(NodeId(0));
+        h.write(ObjectId(0), Bytes::from_static(b"x")); // P+N
+        // Wait for the invalidation wave to drain before reading.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let base = cluster.total_cost();
+        assert_eq!(base, sys.p + sys.n_clients as u64);
+        h.read(ObjectId(0)); // own copy INVALID -> S+2
+        let after = cluster.total_cost();
+        assert_eq!(after - base, sys.s + 2);
+        h.read(ObjectId(0)); // now VALID -> free
+        assert_eq!(cluster.total_cost(), after);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn replicas_converge_after_shutdown() {
+        for kind in ProtocolKind::ALL {
+            let cluster = Cluster::new(sys(), kind);
+            let handles: Vec<_> = (0..4).map(|i| cluster.handle(NodeId(i))).collect();
+            let threads: Vec<_> = handles
+                .into_iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    std::thread::spawn(move || {
+                        for round in 0..25u64 {
+                            let obj = ObjectId(((i as u64 + round) % 4) as u32);
+                            if (round + i as u64) % 3 == 0 {
+                                h.write(obj, Bytes::from(round.to_le_bytes().to_vec()));
+                            } else {
+                                let _ = h.read(obj);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            // Let in-flight cascades drain before stopping.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let dump = cluster.shutdown();
+            assert!(dump.is_coherent(), "{kind:?}: replicas diverged");
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_deadlock() {
+        let cluster = Cluster::new(sys(), ProtocolKind::Illinois);
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let h = cluster.handle(NodeId(i));
+                std::thread::spawn(move || {
+                    for r in 0..50u64 {
+                        h.write(ObjectId(0), Bytes::from(vec![i as u8, r as u8]));
+                        let _ = h.read(ObjectId(0));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(cluster.total_messages() > 0);
+        cluster.shutdown();
+    }
+}

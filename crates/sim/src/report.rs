@@ -1,0 +1,83 @@
+//! Measurement output of a simulation run.
+
+use repmem_core::{NodeId, OpKind, TraceSig};
+use std::collections::BTreeMap;
+
+/// Post-run coherence audit over all objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoherenceCheck {
+    /// Number of (object, node) pairs whose copy is readable.
+    pub readable_copies: usize,
+    /// Readable copies whose version is *not* the object's newest applied
+    /// version — must be zero after a drained run.
+    pub stale_readable: usize,
+    /// Objects whose replicas disagree in value among readable copies.
+    pub divergent_objects: usize,
+}
+
+impl CoherenceCheck {
+    /// All replicas coherent.
+    pub fn is_coherent(&self) -> bool {
+        self.stale_readable == 0 && self.divergent_objects == 0
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Operations measured (after warm-up).
+    pub measured_ops: usize,
+    /// Total communication cost over measured operations.
+    pub total_cost: u64,
+    /// Occurrences of each trace signature among measured operations.
+    pub trace_counts: BTreeMap<TraceSig, usize>,
+    /// Empirical per-(node, op) frequencies among measured operations.
+    pub mix: BTreeMap<(NodeId, OpKind), usize>,
+    /// Virtual time at the end of the run.
+    pub end_time: u64,
+    /// Reads whose returned value was not the newest written version at
+    /// return time in serialized mode (diagnostic; 0 for a correct
+    /// protocol in serialized mode).
+    pub stale_reads: usize,
+    /// Sorted virtual-time completion latencies of the measured
+    /// operations (channel-latency units; issue → completion).
+    pub latencies: Vec<u64>,
+    /// Post-drain replica audit.
+    pub coherence: CoherenceCheck,
+}
+
+impl SimReport {
+    /// Measured steady-state average communication cost per operation —
+    /// the simulation counterpart of the analytic `acc`.
+    pub fn acc(&self) -> f64 {
+        if self.measured_ops == 0 {
+            0.0
+        } else {
+            self.total_cost as f64 / self.measured_ops as f64
+        }
+    }
+
+    /// Empirical probability of each trace signature.
+    pub fn trace_probs(&self) -> BTreeMap<TraceSig, f64> {
+        let n = self.measured_ops.max(1) as f64;
+        self.trace_counts.iter().map(|(sig, c)| (*sig, *c as f64 / n)).collect()
+    }
+
+    /// Mean operation latency (virtual-time units), `0` with no samples.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
+        }
+    }
+
+    /// Latency percentile (e.g. `0.95`), `0` with no samples.
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies[idx]
+    }
+}

@@ -1,0 +1,165 @@
+//! Application-shaped workloads.
+//!
+//! The paper's model abstracts a distributed computation into per-object
+//! read/write probabilities; these generators go the other way, producing
+//! the access traces of three archetypal parallel programs so that
+//! examples and integration tests can exercise the DSM with realistic,
+//! phase-structured (non-i.i.d.) patterns:
+//!
+//! * [`grid_relaxation`] — iterative stencil relaxation with one strip of
+//!   rows per worker; interior rows are private objects (an *ideal*
+//!   workload), boundary rows are read by one neighbour (per-object *read
+//!   disturbance* with `a = 1`);
+//! * [`producer_consumer`] — a ring buffer of slot objects: the producer
+//!   writes each slot, the consumer reads it (alternating activity);
+//! * [`work_queue`] — a master/worker queue: the master writes task
+//!   descriptors, a random worker reads one and writes a result object
+//!   the master reads back.
+
+use crate::OpEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repmem_core::{NodeId, ObjectId, OpKind};
+
+/// Iterative grid relaxation over `workers` clients and `iters` sweeps.
+///
+/// Worker `w` owns `rows_per_worker` row objects. Each sweep, a worker
+/// reads its neighbours' boundary rows, then reads and rewrites every
+/// row it owns. Object ids are dense: worker `w`'s rows are
+/// `w*rows_per_worker ..< (w+1)*rows_per_worker`.
+pub fn grid_relaxation(workers: usize, rows_per_worker: usize, iters: usize) -> Vec<OpEvent> {
+    assert!(workers >= 2 && rows_per_worker >= 1);
+    let mut trace = Vec::new();
+    let row = |w: usize, r: usize| ObjectId((w * rows_per_worker + r) as u32);
+    for _ in 0..iters {
+        for w in 0..workers {
+            let node = NodeId(w as u16);
+            // Read the neighbours' facing boundary rows.
+            if w > 0 {
+                trace.push(OpEvent { node, object: row(w - 1, rows_per_worker - 1), op: OpKind::Read });
+            }
+            if w + 1 < workers {
+                trace.push(OpEvent { node, object: row(w + 1, 0), op: OpKind::Read });
+            }
+            // Relax the owned strip.
+            for r in 0..rows_per_worker {
+                trace.push(OpEvent { node, object: row(w, r), op: OpKind::Read });
+                trace.push(OpEvent { node, object: row(w, r), op: OpKind::Write });
+            }
+        }
+    }
+    trace
+}
+
+/// Number of objects used by [`grid_relaxation`].
+pub fn grid_objects(workers: usize, rows_per_worker: usize) -> usize {
+    workers * rows_per_worker
+}
+
+/// A producer (node 0) filling a ring of `slots` objects, a consumer
+/// (node 1) draining them, for `items` items.
+pub fn producer_consumer(slots: usize, items: usize) -> Vec<OpEvent> {
+    assert!(slots >= 1);
+    let producer = NodeId(0);
+    let consumer = NodeId(1);
+    let mut trace = Vec::with_capacity(items * 2);
+    for i in 0..items {
+        let slot = ObjectId((i % slots) as u32);
+        trace.push(OpEvent { node: producer, object: slot, op: OpKind::Write });
+        trace.push(OpEvent { node: consumer, object: slot, op: OpKind::Read });
+    }
+    trace
+}
+
+/// A master (node 0) dispatching `tasks` task descriptors to `workers`
+/// worker clients (nodes `1..=workers`), each of which computes and
+/// writes a result the master reads back.
+///
+/// Objects: task descriptors `0..tasks`? No — descriptors cycle through
+/// `workers` mailbox objects (one per worker) and `workers` result
+/// objects, modelling the paper's bounded object space.
+pub fn work_queue(workers: usize, tasks: usize, seed: u64) -> Vec<OpEvent> {
+    assert!(workers >= 1);
+    let master = NodeId(0);
+    let mailbox = |w: usize| ObjectId(w as u32);
+    let result = |w: usize| ObjectId((workers + w) as u32);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Vec::with_capacity(tasks * 4);
+    for _ in 0..tasks {
+        let w = rng.random_range(0..workers);
+        let worker = NodeId((w + 1) as u16);
+        trace.push(OpEvent { node: master, object: mailbox(w), op: OpKind::Write });
+        trace.push(OpEvent { node: worker, object: mailbox(w), op: OpKind::Read });
+        trace.push(OpEvent { node: worker, object: result(w), op: OpKind::Write });
+        trace.push(OpEvent { node: master, object: result(w), op: OpKind::Read });
+    }
+    trace
+}
+
+/// Number of objects used by [`work_queue`].
+pub fn work_queue_objects(workers: usize) -> usize {
+    workers * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_relaxation_shape() {
+        let t = grid_relaxation(3, 2, 2);
+        // Per sweep: worker 0 and 2 read 1 boundary, worker 1 reads 2;
+        // each worker does 2 rows × (read+write).
+        let per_sweep = (1 + 4) + (2 + 4) + (1 + 4);
+        assert_eq!(t.len(), 2 * per_sweep);
+        let max_obj = t.iter().map(|e| e.object.idx()).max().unwrap();
+        assert!(max_obj < grid_objects(3, 2));
+    }
+
+    #[test]
+    fn grid_boundary_rows_have_single_remote_reader() {
+        let workers = 4;
+        let rows = 3;
+        let t = grid_relaxation(workers, rows, 1);
+        for obj in 0..grid_objects(workers, rows) {
+            let owner = obj / rows;
+            let readers: std::collections::BTreeSet<u16> = t
+                .iter()
+                .filter(|e| e.object.idx() == obj && e.op == OpKind::Read)
+                .map(|e| e.node.0)
+                .collect();
+            let remote: Vec<_> = readers.iter().filter(|&&r| r as usize != owner).collect();
+            assert!(remote.len() <= 1, "object {obj} read by {remote:?}");
+            // Writers: only the owner.
+            assert!(t
+                .iter()
+                .filter(|e| e.object.idx() == obj && e.op == OpKind::Write)
+                .all(|e| e.node.idx() == owner));
+        }
+    }
+
+    #[test]
+    fn producer_consumer_alternates() {
+        let t = producer_consumer(4, 10);
+        assert_eq!(t.len(), 20);
+        for pair in t.chunks(2) {
+            assert_eq!(pair[0].op, OpKind::Write);
+            assert_eq!(pair[1].op, OpKind::Read);
+            assert_eq!(pair[0].object, pair[1].object);
+        }
+    }
+
+    #[test]
+    fn work_queue_round_trips() {
+        let t = work_queue(3, 20, 9);
+        assert_eq!(t.len(), 80);
+        let max_obj = t.iter().map(|e| e.object.idx()).max().unwrap();
+        assert!(max_obj < work_queue_objects(3));
+        // Master writes mailboxes, workers write results.
+        for e in &t {
+            if e.op == OpKind::Write && e.object.idx() < 3 {
+                assert_eq!(e.node, NodeId(0));
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! # repmem-workload
+//!
+//! Synthetic workload generation for the five-parameter stochastic access
+//! model (paper §4.2) plus application-shaped workloads for the examples.
+//!
+//! The paper's simulator [10] generated "read or write operations in
+//! concordance to specified stochastic steady-state workload parameters";
+//! [`ScenarioSampler`] is that generator: an infinite, seeded, i.i.d.
+//! stream of `(node, object, operation)` events drawn from a
+//! [`Scenario`]'s sample space, spread uniformly over `M` objects (the
+//! paper's Table 7 uses `M = 20` with equal access probabilities).
+//!
+//! [`apps`] contains workloads shaped like the parallel programs the
+//! paper's introduction motivates (grid relaxation, producer/consumer,
+//! a work queue); they exercise the same DSM code paths with non-i.i.d.,
+//! phase-structured access patterns.
+
+pub mod apps;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repmem_core::{NodeId, ObjectId, OpKind, Scenario, SystemParams};
+
+/// One shared-memory access: who, what, how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpEvent {
+    /// Issuing node.
+    pub node: NodeId,
+    /// Target object.
+    pub object: ObjectId,
+    /// Read or write.
+    pub op: OpKind,
+}
+
+/// An infinite i.i.d. sampler over a scenario's sample space.
+#[derive(Debug, Clone)]
+pub struct ScenarioSampler {
+    cdf: Vec<(f64, NodeId, OpKind)>,
+    m_objects: u32,
+    rng: StdRng,
+}
+
+impl ScenarioSampler {
+    /// Build a sampler; `m_objects` accesses are spread uniformly (the
+    /// paper's homogeneous-objects assumption).
+    pub fn new(scenario: &Scenario, m_objects: usize, seed: u64) -> Self {
+        assert!(m_objects > 0, "need at least one object");
+        let mut acc = 0.0;
+        let mut cdf = Vec::new();
+        for (node, op, p) in scenario.events() {
+            acc += p;
+            cdf.push((acc, node, op));
+        }
+        assert!(!cdf.is_empty(), "scenario has no events");
+        // Guard against floating-point undershoot at the top end.
+        cdf.last_mut().expect("non-empty cdf").0 = f64::INFINITY;
+        ScenarioSampler { cdf, m_objects: m_objects as u32, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Draw the next event.
+    pub fn next_event(&mut self) -> OpEvent {
+        let u: f64 = self.rng.random();
+        let (_, node, op) = *self
+            .cdf
+            .iter()
+            .find(|(c, _, _)| u < *c)
+            .expect("cdf is capped at infinity");
+        let object = ObjectId(self.rng.random_range(0..self.m_objects));
+        OpEvent { node, object, op }
+    }
+}
+
+impl Iterator for ScenarioSampler {
+    type Item = OpEvent;
+    fn next(&mut self) -> Option<OpEvent> {
+        Some(self.next_event())
+    }
+}
+
+/// Per-node operation mix derived from a scenario — used by the
+/// concurrent simulation mode, where each application process issues its
+/// own stream: the node's issue *weight* is its total event probability
+/// and each issued operation is a write with probability
+/// `write_prob / (read_prob + write_prob)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeMix {
+    /// The node.
+    pub node: NodeId,
+    /// Relative issue rate (the actor's total per-trial probability).
+    pub weight: f64,
+    /// Fraction of this node's operations that are writes.
+    pub write_fraction: f64,
+}
+
+/// Decompose a scenario into per-node mixes (nodes with zero activity are
+/// omitted).
+pub fn per_node_mix(scenario: &Scenario) -> Vec<NodeMix> {
+    scenario
+        .actors
+        .iter()
+        .filter(|a| a.total() > 0.0)
+        .map(|a| NodeMix {
+            node: a.node,
+            weight: a.total(),
+            write_fraction: a.write_prob / a.total(),
+        })
+        .collect()
+}
+
+/// Empirical event frequencies of a finite stream — for verifying that a
+/// sampler reproduces its scenario (used in tests and the Table 7
+/// harness).
+pub fn empirical_mix(events: &[OpEvent], sys: &SystemParams) -> Vec<(NodeId, OpKind, f64)> {
+    let mut counts: std::collections::BTreeMap<(NodeId, OpKind), usize> = Default::default();
+    for e in events {
+        *counts.entry((e.node, e.op)).or_default() += 1;
+    }
+    let total = events.len().max(1) as f64;
+    let _ = sys;
+    counts.into_iter().map(|((n, o), c)| (n, o, c as f64 / total)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rd() -> Scenario {
+        Scenario::read_disturbance(0.2, 0.05, 2).unwrap()
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let a: Vec<_> = ScenarioSampler::new(&rd(), 4, 7).take(100).collect();
+        let b: Vec<_> = ScenarioSampler::new(&rd(), 4, 7).take(100).collect();
+        let c: Vec<_> = ScenarioSampler::new(&rd(), 4, 8).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampler_matches_scenario_frequencies() {
+        let scenario = rd();
+        let events: Vec<_> = ScenarioSampler::new(&scenario, 1, 42).take(200_000).collect();
+        let sys = SystemParams::new(4, 10, 10);
+        let mix = empirical_mix(&events, &sys);
+        for (node, op, freq) in mix {
+            let expect = scenario
+                .events()
+                .find(|(n, o, _)| *n == node && *o == op)
+                .map(|(_, _, p)| p)
+                .unwrap_or(0.0);
+            assert!(
+                (freq - expect).abs() < 0.01,
+                "{node} {op}: empirical {freq} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn objects_are_uniform() {
+        let events: Vec<_> = ScenarioSampler::new(&rd(), 20, 1).take(100_000).collect();
+        let mut counts = vec![0usize; 20];
+        for e in &events {
+            counts[e.object.idx()] += 1;
+        }
+        for c in counts {
+            let f = c as f64 / events.len() as f64;
+            assert!((f - 0.05).abs() < 0.01, "object frequency {f}");
+        }
+    }
+
+    #[test]
+    fn per_node_mix_partitions_probability() {
+        let scenario = rd();
+        let mix = per_node_mix(&scenario);
+        assert_eq!(mix.len(), 3);
+        let total: f64 = mix.iter().map(|m| m.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // The activity center writes, the others do not.
+        assert!(mix[0].write_fraction > 0.0);
+        assert_eq!(mix[1].write_fraction, 0.0);
+    }
+
+    #[test]
+    fn zero_probability_events_never_sampled() {
+        let scenario = Scenario::ideal(0.0).unwrap(); // reads only
+        let events: Vec<_> = ScenarioSampler::new(&scenario, 2, 3).take(10_000).collect();
+        assert!(events.iter().all(|e| e.op == OpKind::Read && e.node == NodeId(0)));
+    }
+}

@@ -1,0 +1,63 @@
+//! Self-tuning protocol selection (the paper's §6 future work): observe a
+//! phase-shifting workload, estimate its parameters online, and let the
+//! analytic model pick the cheapest coherence protocol per phase.
+//!
+//! ```text
+//! cargo run --example adaptive_tuning
+//! ```
+
+use repmem::prelude::*;
+use repmem_adaptive::switch_penalty;
+
+fn main() {
+    let sys = SystemParams::new(10, 200, 30);
+    let phases: Vec<(&str, Scenario, usize)> = vec![
+        ("private writes (ideal, p=0.6)", Scenario::ideal(0.6).unwrap(), 15_000),
+        (
+            "read-mostly sharing (RD, p=0.02, σ=0.11, a=8)",
+            Scenario::read_disturbance(0.02, 0.11, 8).unwrap(),
+            15_000,
+        ),
+        ("four active writers (MC, p=0.5, β=4)", Scenario::multiple_centers(0.5, 4).unwrap(), 15_000),
+    ];
+
+    let classifier = Classifier { sys };
+    let mut estimator = WorkloadEstimator::new(1200);
+    let mut current: Option<ProtocolKind> = None;
+    let mut adaptive_cost = 0.0;
+    let mut static_costs: Vec<(ProtocolKind, f64)> =
+        ProtocolKind::ALL.into_iter().map(|k| (k, 0.0)).collect();
+
+    println!("adaptive DSM tuning — N={}, S={}, P={}\n", sys.n_clients, sys.s, sys.p);
+    for (label, scenario, ops) in &phases {
+        // Observe a prefix of the phase through the estimator.
+        let mut sampler = ScenarioSampler::new(scenario, 1, 99);
+        for _ in 0..4000 {
+            let ev = sampler.next_event();
+            estimator.observe(ev.node, ev.op);
+        }
+        let estimate = estimator.scenario().expect("observations made");
+        let (choice, predicted) = classifier.best(&estimate);
+
+        // Account for the switch and the phase cost (true scenario).
+        let true_cost = classifier.cost(choice, scenario);
+        if current.is_some() && current != Some(choice) {
+            adaptive_cost += switch_penalty(&sys);
+        }
+        current = Some(choice);
+        adaptive_cost += true_cost * *ops as f64;
+        for (k, acc) in static_costs.iter_mut() {
+            *acc += classifier.cost(*k, scenario) * *ops as f64;
+        }
+        println!(
+            "phase: {label}\n  → selected {:<16} predicted acc {predicted:.3}, true acc {true_cost:.3}",
+            choice.name()
+        );
+    }
+
+    let (best_static, best_cost) =
+        static_costs.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1)).expect("eight protocols");
+    println!("\ntotal cost: adaptive {:.0} vs best static ({}) {:.0}", adaptive_cost, best_static.name(), best_cost);
+    println!("adaptation keeps {:.1} % of the best static protocol's traffic.", 100.0 * adaptive_cost / best_cost);
+    assert!(adaptive_cost < best_cost, "adaptation should win on shifting phases");
+}
