@@ -41,7 +41,11 @@ impl WorkloadEstimator {
     /// A fresh estimator with the given effective window (operations).
     pub fn new(window: usize) -> Self {
         assert!(window >= 1);
-        WorkloadEstimator { window: window as f64, weights: BTreeMap::new(), total: 0.0 }
+        WorkloadEstimator {
+            window: window as f64,
+            weights: BTreeMap::new(),
+            total: 0.0,
+        }
     }
 
     /// Observe one operation.
@@ -72,9 +76,11 @@ impl WorkloadEstimator {
         }
         let mut actors: BTreeMap<NodeId, ActorSpec> = BTreeMap::new();
         for (&(node, op), &w) in &self.weights {
-            let spec = actors
-                .entry(node)
-                .or_insert(ActorSpec { node, read_prob: 0.0, write_prob: 0.0 });
+            let spec = actors.entry(node).or_insert(ActorSpec {
+                node,
+                read_prob: 0.0,
+                write_prob: 0.0,
+            });
             match op {
                 OpKind::Read => spec.read_prob += w / self.total,
                 OpKind::Write => spec.write_prob += w / self.total,
@@ -118,8 +124,10 @@ impl Classifier {
 
     /// All eight protocols ranked by predicted cost (cheapest first).
     pub fn rank(&self, scenario: &Scenario) -> Vec<(ProtocolKind, f64)> {
-        let mut v: Vec<(ProtocolKind, f64)> =
-            ProtocolKind::ALL.into_iter().map(|k| (k, self.cost(k, scenario))).collect();
+        let mut v: Vec<(ProtocolKind, f64)> = ProtocolKind::ALL
+            .into_iter()
+            .map(|k| (k, self.cost(k, scenario)))
+            .collect();
         v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v
     }
@@ -220,8 +228,10 @@ pub fn assign(
 ) -> Assignment {
     repmem_analytic::composite::check_weights(classes).expect("valid class weights");
     let classifier = Classifier { sys: *sys };
-    let per_class: Vec<(ProtocolKind, f64)> =
-        classes.iter().map(|c| classifier.best(&c.scenario)).collect();
+    let per_class: Vec<(ProtocolKind, f64)> = classes
+        .iter()
+        .map(|c| classifier.best(&c.scenario))
+        .collect();
     let mixed_acc = classes
         .iter()
         .zip(&per_class)
@@ -231,13 +241,16 @@ pub fn assign(
         .into_iter()
         .map(|k| {
             let acc = repmem_analytic::composite::composite_acc(protocol(k), sys, classes)
-                .map(|a| a)
                 .unwrap_or(f64::INFINITY);
             (k, acc)
         })
         .min_by(|l, r| l.1.total_cmp(&r.1))
         .expect("eight protocols");
-    Assignment { per_class, mixed_acc, best_uniform }
+    Assignment {
+        per_class,
+        mixed_acc,
+        best_uniform,
+    }
 }
 
 /// Evaluate the adaptive schedule over phases: per phase, the classifier
@@ -272,7 +285,12 @@ pub fn plan(sys: &SystemParams, phases: &[Phase]) -> AdaptivePlan {
             (k, total)
         })
         .collect();
-    AdaptivePlan { choices, adaptive_cost, switches, static_costs }
+    AdaptivePlan {
+        choices,
+        adaptive_cost,
+        switches,
+        static_costs,
+    }
 }
 
 #[cfg(test)]
@@ -315,8 +333,18 @@ mod tests {
             est.observe(NodeId(1), OpKind::Read);
         }
         let s = est.scenario().unwrap();
-        let w0 = s.actors.iter().find(|a| a.node == NodeId(0)).map(|a| a.total()).unwrap_or(0.0);
-        let r1 = s.actors.iter().find(|a| a.node == NodeId(1)).map(|a| a.total()).unwrap_or(0.0);
+        let w0 = s
+            .actors
+            .iter()
+            .find(|a| a.node == NodeId(0))
+            .map(|a| a.total())
+            .unwrap_or(0.0);
+        let r1 = s
+            .actors
+            .iter()
+            .find(|a| a.node == NodeId(1))
+            .map(|a| a.total())
+            .unwrap_or(0.0);
         assert!(r1 > 0.99, "new phase should dominate: {r1}");
         assert!(w0 < 0.01, "old phase should have decayed: {w0}");
     }
@@ -343,7 +371,10 @@ mod tests {
         let scenario = Scenario::ideal(0.5).unwrap();
         let c = Classifier { sys };
         let (best, cost) = c.best(&scenario);
-        assert!(cost.abs() < 1e-9, "steady-state cost should vanish, got {cost}");
+        assert!(
+            cost.abs() < 1e-9,
+            "steady-state cost should vanish, got {cost}"
+        );
         assert!(matches!(
             best,
             ProtocolKind::WriteOnce
@@ -358,11 +389,20 @@ mod tests {
         let sys = sys();
         let phases = vec![
             // Phase A: single-owner writes — ownership protocols free.
-            Phase { scenario: Scenario::ideal(0.6).unwrap(), ops: 20_000 },
+            Phase {
+                scenario: Scenario::ideal(0.6).unwrap(),
+                ops: 20_000,
+            },
             // Phase B: widely-shared read-mostly object — updates cheap.
-            Phase { scenario: Scenario::read_disturbance(0.02, 0.11, 8).unwrap(), ops: 20_000 },
+            Phase {
+                scenario: Scenario::read_disturbance(0.02, 0.11, 8).unwrap(),
+                ops: 20_000,
+            },
             // Phase C: multiple active writers.
-            Phase { scenario: Scenario::multiple_centers(0.5, 4).unwrap(), ops: 20_000 },
+            Phase {
+                scenario: Scenario::multiple_centers(0.5, 4).unwrap(),
+                ops: 20_000,
+            },
         ];
         let plan = plan(&sys, &phases);
         assert_eq!(plan.choices.len(), 3);

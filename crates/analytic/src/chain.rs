@@ -26,12 +26,23 @@
 //! per concrete member and merged by canonical target, so the lumping is
 //! exact — `AnalyzeOpts { lump: false }` keeps the raw product space and
 //! is used in tests and the ablation bench to confirm equality.
+//!
+//! Per-initiator trace probabilities need one extra step: a lumped state
+//! stores only the first concrete representative it was discovered with,
+//! which breaks the symmetry between class members (the representative
+//! may have client 1 VALID and client 2 INVALID, while the lumped state
+//! equally represents the mirrored arrangement). The stationary
+//! distribution of the symmetric full chain is uniform over each orbit,
+//! so the trace contribution of an event at node `n` in class `C` is
+//! symmetrized: the cost outcome is averaged over executing the event at
+//! every member of `C` in the representative, keeping `n` as the
+//! reported initiator.
 
 use crate::oracle::{execute, Global};
-use repmem_core::{
-    CoherenceProtocol, NodeId, OpKind, Scenario, SystemParams, TraceSig,
+use repmem_core::{CoherenceProtocol, NodeId, OpKind, Scenario, SystemParams, TraceSig};
+use repmem_linalg::{
+    stationary_dense, stationary_power, StationaryError, StationaryOpts, Triplets,
 };
-use repmem_linalg::{stationary_dense, stationary_power, StationaryError, StationaryOpts, Triplets};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Options for [`analyze`].
@@ -100,7 +111,11 @@ impl ChainResult {
     /// Probability mass of traces with non-zero cost (the paper's "how
     /// often does an operation communicate at all").
     pub fn communicating_fraction(&self) -> f64 {
-        self.trace_probs.iter().filter(|(sig, _)| sig.cost > 0).map(|(_, p)| p).sum()
+        self.trace_probs
+            .iter()
+            .filter(|(sig, _)| sig.cost > 0)
+            .map(|(_, p)| p)
+            .sum()
     }
 }
 
@@ -149,7 +164,23 @@ impl Lumper {
         // Singleton classes are effectively pinned; keep them as classes
         // anyway (sorting a singleton is free and the code stays uniform).
         pinned.dedup();
-        Lumper { pinned, classes, lump }
+        Lumper {
+            pinned,
+            classes,
+            lump,
+        }
+    }
+
+    /// The non-singleton exchangeability class containing `n`, when
+    /// lumping is on (trace attribution must symmetrize over it).
+    fn class_of(&self, n: NodeId) -> Option<&[NodeId]> {
+        if !self.lump {
+            return None;
+        }
+        self.classes
+            .iter()
+            .find(|c| c.len() > 1 && c.contains(&n))
+            .map(Vec::as_slice)
     }
 
     /// Canonical key of a global state.
@@ -243,7 +274,12 @@ impl ChainModel {
             }
         }
         let residual = repmem_linalg::stationary::residual(&self.matrix, &pi);
-        Ok(ChainResult { acc, n_states: n, trace_probs, residual })
+        Ok(ChainResult {
+            acc,
+            n_states: n,
+            trace_probs,
+            residual,
+        })
     }
 }
 
@@ -299,7 +335,28 @@ pub fn build(
             };
             edges.push((si, ti, prob));
             ec += prob * outcome.cost as f64;
-            traces.push((outcome.sig, prob));
+            // Per-initiator trace attribution: within a lumped state the
+            // concrete arrangements of an exchangeability class are
+            // equally likely, so average the cost outcome over executing
+            // at every class member, reporting `node` as the initiator.
+            match lumper.class_of(node) {
+                Some(class) => {
+                    let w = prob / class.len() as f64;
+                    for &m in class {
+                        let mut gm = rep.clone();
+                        let o = execute(protocol, sys, &mut gm, m, op);
+                        traces.push((
+                            TraceSig {
+                                initiator: node,
+                                op,
+                                cost: o.cost,
+                            },
+                            w,
+                        ));
+                    }
+                }
+                None => traces.push((outcome.sig, prob)),
+            }
         }
         // Keep the per-state vectors aligned with state indices.
         while expected_cost.len() <= si {
@@ -315,7 +372,12 @@ pub fn build(
     for (s, t, p) in edges {
         trips.add(s, t, p);
     }
-    Ok(ChainModel { matrix: trips.build(), expected_cost, trace_contrib, initial: 0 })
+    Ok(ChainModel {
+        matrix: trips.build(),
+        expected_cost,
+        trace_contrib,
+        initial: 0,
+    })
 }
 
 /// Build and solve the chain for `protocol` under `scenario`.
@@ -342,22 +404,41 @@ mod tests {
     fn write_through_matches_paper_equation_3() {
         let sys = SystemParams::new(6, 100, 30);
         let (p, sigma, a) = (0.3, 0.05, 3);
-        let r = analyze(protocol(ProtocolKind::WriteThrough), &sys, &rd(p, sigma, a), AnalyzeOpts::default())
-            .unwrap();
+        let r = analyze(
+            protocol(ProtocolKind::WriteThrough),
+            &sys,
+            &rd(p, sigma, a),
+            AnalyzeOpts::default(),
+        )
+        .unwrap();
         // acc = [p(1-p-aσ)/(1-aσ) + aσp/(p+σ)](S+2) + p(P+N)   (eq. 3)
         let q = a as f64 * sigma;
         let pi2 = p * (1.0 - p - q) / (1.0 - q) + q * p / (p + sigma);
         let expect = pi2 * (sys.s + 2) as f64 + p * (sys.p as f64 + sys.n_clients as f64);
-        assert!((r.acc - expect).abs() < 1e-9, "acc {} vs eq3 {}", r.acc, expect);
+        assert!(
+            (r.acc - expect).abs() < 1e-9,
+            "acc {} vs eq3 {}",
+            r.acc,
+            expect
+        );
     }
 
     #[test]
     fn trace_probabilities_sum_to_one() {
         let sys = SystemParams::new(5, 50, 10);
         for kind in ProtocolKind::ALL {
-            let r = analyze(protocol(kind), &sys, &rd(0.2, 0.1, 2), AnalyzeOpts::default()).unwrap();
+            let r = analyze(
+                protocol(kind),
+                &sys,
+                &rd(0.2, 0.1, 2),
+                AnalyzeOpts::default(),
+            )
+            .unwrap();
             let total: f64 = r.trace_probs.values().sum();
-            assert!((total - 1.0).abs() < 1e-9, "{kind:?}: trace probs sum {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{kind:?}: trace probs sum {total}"
+            );
             assert!(r.residual < 1e-9, "{kind:?}: residual {}", r.residual);
         }
     }
@@ -371,12 +452,16 @@ mod tests {
                 Scenario::write_disturbance(0.2, 0.05, 3).unwrap(),
                 Scenario::multiple_centers(0.3, 3).unwrap(),
             ] {
-                let lumped = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default()).unwrap();
+                let lumped =
+                    analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default()).unwrap();
                 let full = analyze(
                     protocol(kind),
                     &sys,
                     &scenario,
-                    AnalyzeOpts { lump: false, ..AnalyzeOpts::default() },
+                    AnalyzeOpts {
+                        lump: false,
+                        ..AnalyzeOpts::default()
+                    },
                 )
                 .unwrap();
                 assert!(
@@ -411,7 +496,10 @@ mod tests {
         let scenario = Scenario::ideal(p).unwrap();
         let (nf, sf, pf) = (sys.n_clients as f64, sys.s as f64, sys.p as f64);
         let expectations: Vec<(ProtocolKind, f64)> = vec![
-            (ProtocolKind::WriteThrough, p * ((1.0 - p) * (sf + 2.0) + pf + nf)),
+            (
+                ProtocolKind::WriteThrough,
+                p * ((1.0 - p) * (sf + 2.0) + pf + nf),
+            ),
             (ProtocolKind::WriteThroughV, p * (pf + nf + 2.0)),
             (ProtocolKind::WriteOnce, 0.0),
             (ProtocolKind::Synapse, 0.0),
@@ -442,7 +530,11 @@ mod tests {
             AnalyzeOpts::default(),
         )
         .unwrap();
-        assert!(r.n_states < 500, "lumped Synapse chain has {} states", r.n_states);
+        assert!(
+            r.n_states < 500,
+            "lumped Synapse chain has {} states",
+            r.n_states
+        );
         assert!(r.acc > 0.0);
     }
 }

@@ -149,8 +149,7 @@ pub fn illinois_rd(sys: &SystemParams, p: f64, sigma: f64, a: usize) -> f64 {
     let (s, n) = (sys.s as f64, sys.n_clients as f64);
     let pi_di = frac(p, p + q);
     let pi_vi = frac(pi_di * (q - sigma), p + sigma);
-    p * (1.0 - pi_di) * (n + 1.0)
-        + a as f64 * sigma * (pi_di * (2.0 * s + 4.0) + pi_vi * (s + 2.0))
+    p * (1.0 - pi_di) * (n + 1.0) + a as f64 * sigma * (pi_di * (2.0 * s + 4.0) + pi_vi * (s + 2.0))
 }
 
 /// Berkeley, read disturbance.
@@ -203,13 +202,7 @@ pub fn closed_rd(kind: ProtocolKind, sys: &SystemParams, p: f64, sigma: f64, a: 
 
 /// Write-disturbance closed forms, where derived (`None` = use the chain
 /// engine).
-pub fn closed_wd(
-    kind: ProtocolKind,
-    sys: &SystemParams,
-    p: f64,
-    xi: f64,
-    a: usize,
-) -> Option<f64> {
+pub fn closed_wd(kind: ProtocolKind, sys: &SystemParams, p: f64, xi: f64, a: usize) -> Option<f64> {
     let total = p + a as f64 * xi;
     match kind {
         ProtocolKind::WriteThrough => Some(wt_wd(sys, p, xi, a)),
@@ -255,14 +248,21 @@ mod tests {
 
     fn engine_rd(kind: ProtocolKind, sys: &SystemParams, p: f64, sigma: f64, a: usize) -> f64 {
         let scenario = Scenario::read_disturbance(p, sigma, a).unwrap();
-        analyze(protocol(kind), sys, &scenario, AnalyzeOpts::default()).unwrap().acc
+        analyze(protocol(kind), sys, &scenario, AnalyzeOpts::default())
+            .unwrap()
+            .acc
     }
 
     #[test]
     fn all_rd_forms_match_engine_at_spot_points() {
         let sys = SystemParams::new(7, 120, 25);
         for kind in ProtocolKind::ALL {
-            for (p, sigma, a) in [(0.3, 0.06, 3), (0.1, 0.02, 5), (0.55, 0.1, 2), (0.8, 0.04, 1)] {
+            for (p, sigma, a) in [
+                (0.3, 0.06, 3),
+                (0.1, 0.02, 5),
+                (0.55, 0.1, 2),
+                (0.8, 0.04, 1),
+            ] {
                 let closed = closed_rd(kind, &sys, p, sigma, a);
                 let engine = engine_rd(kind, &sys, p, sigma, a);
                 assert!(
@@ -280,8 +280,9 @@ mod tests {
             let scenario = Scenario::write_disturbance(p, xi, a).unwrap();
             for kind in ProtocolKind::ALL {
                 if let Some(closed) = closed_wd(kind, &sys, p, xi, a) {
-                    let engine =
-                        analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default()).unwrap().acc;
+                    let engine = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
+                        .unwrap()
+                        .acc;
                     assert!(
                         (closed - engine).abs() < 1e-7,
                         "{kind:?} WD (p={p}, ξ={xi}, a={a}): closed {closed} vs engine {engine}"
@@ -298,8 +299,9 @@ mod tests {
             let scenario = Scenario::multiple_centers(p, beta).unwrap();
             for kind in ProtocolKind::ALL {
                 if let Some(closed) = closed_mc(kind, &sys, p, beta) {
-                    let engine =
-                        analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default()).unwrap().acc;
+                    let engine = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
+                        .unwrap()
+                        .acc;
                     assert!(
                         (closed - engine).abs() < 1e-7,
                         "{kind:?} MC (p={p}, β={beta}): closed {closed} vs engine {engine}"
@@ -316,7 +318,10 @@ mod tests {
             for p in [0.1, 0.5, 0.9] {
                 let rd0 = closed_rd(kind, &sys, p, 0.0, 4);
                 let id = ideal(kind, &sys, p);
-                assert!((rd0 - id).abs() < 1e-10, "{kind:?}: σ=0 gives {rd0}, ideal {id}");
+                assert!(
+                    (rd0 - id).abs() < 1e-10,
+                    "{kind:?}: σ=0 gives {rd0}, ideal {id}"
+                );
             }
         }
     }
@@ -331,26 +336,32 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
     use crate::chain::{analyze, AnalyzeOpts};
-    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
     use repmem_core::Scenario;
     use repmem_protocols::protocol;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
-        fn closed_rd_equals_engine(
-            p in 0.01f64..0.7,
-            sigma in 0.001f64..0.08,
-            a in 1usize..4,
-            n in 3usize..8,
-        ) {
-            prop_assume!(p + a as f64 * sigma < 0.99);
-            // The paper requires a < N: the activity center plus the a
-            // disturbing processes are all *clients*.
-            prop_assume!(a + 1 <= n);
+    /// Deterministic replacement for the former property test: 24 seeded
+    /// random read-disturbance configurations, closed form vs chain engine
+    /// for all eight protocols.
+    #[test]
+    fn closed_rd_equals_engine() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC105ED);
+        let mut checked = 0usize;
+        while checked < 24 {
+            let p = 0.01 + 0.69 * rng.random::<f64>();
+            let sigma = 0.001 + 0.079 * rng.random::<f64>();
+            let a = rng.random_range(1usize..4);
+            let n = rng.random_range(3usize..8);
+            // The paper requires a < N (the activity center plus the a
+            // disturbing processes are all *clients*) and a feasible
+            // probability budget.
+            if p + a as f64 * sigma >= 0.99 || a + 1 > n {
+                continue;
+            }
+            checked += 1;
             let sys = SystemParams::new(n, 64, 12);
             let scenario = Scenario::read_disturbance(p, sigma, a).unwrap();
             for kind in repmem_core::ProtocolKind::ALL {
@@ -358,10 +369,9 @@ mod proptests {
                 let engine = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
                     .unwrap()
                     .acc;
-                prop_assert!(
+                assert!(
                     (closed - engine).abs() < 1e-6 * (1.0 + engine.abs()),
-                    "{:?} (p={p}, σ={sigma}, a={a}, N={n}): closed {closed} vs engine {engine}",
-                    kind
+                    "{kind:?} (p={p}, σ={sigma}, a={a}, N={n}): closed {closed} vs engine {engine}"
                 );
             }
         }

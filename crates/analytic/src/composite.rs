@@ -25,7 +25,11 @@ pub struct ObjectClass {
 impl ObjectClass {
     /// Convenience constructor.
     pub fn new(label: impl Into<String>, scenario: Scenario, weight: f64) -> Self {
-        ObjectClass { label: label.into(), scenario, weight }
+        ObjectClass {
+            label: label.into(),
+            scenario,
+            weight,
+        }
     }
 }
 
@@ -94,8 +98,12 @@ mod tests {
         let cls = classes();
         let p = protocol(ProtocolKind::WriteThrough);
         let whole = composite_acc(p, &sys, &cls).unwrap();
-        let a0 = analyze(p, &sys, &cls[0].scenario, AnalyzeOpts::default()).unwrap().acc;
-        let a1 = analyze(p, &sys, &cls[1].scenario, AnalyzeOpts::default()).unwrap().acc;
+        let a0 = analyze(p, &sys, &cls[0].scenario, AnalyzeOpts::default())
+            .unwrap()
+            .acc;
+        let a1 = analyze(p, &sys, &cls[1].scenario, AnalyzeOpts::default())
+            .unwrap()
+            .acc;
         assert!((whole - (0.6 * a0 + 0.4 * a1)).abs() < 1e-12);
     }
 
@@ -106,7 +114,9 @@ mod tests {
         let cls = vec![ObjectClass::new("all", scenario.clone(), 1.0)];
         for kind in ProtocolKind::ALL {
             let c = composite_acc(protocol(kind), &sys, &cls).unwrap();
-            let a = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default()).unwrap().acc;
+            let a = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
+                .unwrap()
+                .acc;
             assert!((c - a).abs() < 1e-12, "{kind:?}");
         }
     }

@@ -60,9 +60,12 @@ impl RegionMap {
     /// Sample an `rows × cols` grid with `p + aσ ≤ 1` enforced (cells
     /// beyond the simplex repeat the boundary winner).
     pub fn compute(sys: &SystemParams, a: usize, rows: usize, cols: usize) -> RegionMap {
-        let sigmas: Vec<f64> =
-            (0..cols).map(|j| j as f64 / (cols.max(2) - 1) as f64 / a as f64).collect();
-        let ps: Vec<f64> = (0..rows).map(|i| i as f64 / (rows.max(2) - 1) as f64).collect();
+        let sigmas: Vec<f64> = (0..cols)
+            .map(|j| j as f64 / (cols.max(2) - 1) as f64 / a as f64)
+            .collect();
+        let ps: Vec<f64> = (0..rows)
+            .map(|i| i as f64 / (rows.max(2) - 1) as f64)
+            .collect();
         let winners = ps
             .iter()
             .map(|&p| {
@@ -75,7 +78,11 @@ impl RegionMap {
                     .collect()
             })
             .collect();
-        RegionMap { sigmas, ps, winners }
+        RegionMap {
+            sigmas,
+            ps,
+            winners,
+        }
     }
 
     /// Count cells won by each protocol.
@@ -84,7 +91,11 @@ impl RegionMap {
             ProtocolKind::ALL.into_iter().map(|k| (k, 0)).collect();
         for row in &self.winners {
             for w in row {
-                counts.iter_mut().find(|(k, _)| k == w).expect("known kind").1 += 1;
+                counts
+                    .iter_mut()
+                    .find(|(k, _)| k == w)
+                    .expect("known kind")
+                    .1 += 1;
             }
         }
         counts
@@ -150,7 +161,14 @@ mod tests {
             .expect("WT/WT-V must cross");
             assert!((found - line).abs() < 1e-6, "found {found}, line {line}");
             // WT-V cheaper below the line, WT cheaper above.
-            let below = cheaper_rd(ProtocolKind::WriteThrough, ProtocolKind::WriteThroughV, &sys, line * 0.5, sigma, a);
+            let below = cheaper_rd(
+                ProtocolKind::WriteThrough,
+                ProtocolKind::WriteThroughV,
+                &sys,
+                line * 0.5,
+                sigma,
+                a,
+            );
             let above = cheaper_rd(
                 ProtocolKind::WriteThrough,
                 ProtocolKind::WriteThroughV,
@@ -203,7 +221,10 @@ mod tests {
                 let sigma = si as f64 / 10.0 * (1.0 - p) / a as f64;
                 let ill = closed_rd(ProtocolKind::Illinois, &sys, p, sigma, a);
                 let syn = closed_rd(ProtocolKind::Synapse, &sys, p, sigma, a);
-                assert!(ill <= syn + 1e-9, "Illinois {ill} > Synapse {syn} at (p={p}, σ={sigma})");
+                assert!(
+                    ill <= syn + 1e-9,
+                    "Illinois {ill} > Synapse {syn} at (p={p}, σ={sigma})"
+                );
             }
         }
     }
@@ -219,7 +240,10 @@ mod tests {
                 let sigma = si as f64 / 10.0 * (1.0 - p) / a as f64;
                 let b = closed_rd(ProtocolKind::Berkeley, &sys, p, sigma, a);
                 let d = closed_rd(ProtocolKind::Dragon, &sys, p, sigma, a);
-                assert!(b <= d + 1e-9, "Berkeley {b} > Dragon {d} at (p={p}, σ={sigma})");
+                assert!(
+                    b <= d + 1e-9,
+                    "Berkeley {b} > Dragon {d} at (p={p}, σ={sigma})"
+                );
             }
         }
     }
@@ -235,17 +259,49 @@ mod tests {
         let sys = SystemParams::figure5(); // NP = 1500 < 5002
         let a = 1;
         let sigma = 0.01;
-        let d_small = cheaper_rd(ProtocolKind::Dragon, ProtocolKind::Berkeley, &sys, 0.005, sigma, a);
-        let d_large = cheaper_rd(ProtocolKind::Dragon, ProtocolKind::Berkeley, &sys, 0.5, sigma, a);
+        let d_small = cheaper_rd(
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            &sys,
+            0.005,
+            sigma,
+            a,
+        );
+        let d_large = cheaper_rd(
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            &sys,
+            0.5,
+            sigma,
+            a,
+        );
         assert_eq!(d_small, Some(ProtocolKind::Dragon));
         assert_eq!(d_large, Some(ProtocolKind::Berkeley));
-        let cross = crossover_p(ProtocolKind::Dragon, ProtocolKind::Berkeley, &sys, sigma, a, 0.005, 0.5)
-            .expect("Dragon/Berkeley must cross");
+        let cross = crossover_p(
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            &sys,
+            sigma,
+            a,
+            0.005,
+            0.5,
+        )
+        .expect("Dragon/Berkeley must cross");
         // Crossing point scales linearly in σ (line through the origin).
-        let cross2 =
-            crossover_p(ProtocolKind::Dragon, ProtocolKind::Berkeley, &sys, 2.0 * sigma, a, 0.005, 0.9)
-                .expect("crossing at doubled σ");
-        assert!((cross2 / cross - 2.0).abs() < 0.02, "slope not linear: {cross} vs {cross2}");
+        let cross2 = crossover_p(
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            &sys,
+            2.0 * sigma,
+            a,
+            0.005,
+            0.9,
+        )
+        .expect("crossing at doubled σ");
+        assert!(
+            (cross2 / cross - 2.0).abs() < 0.02,
+            "slope not linear: {cross} vs {cross2}"
+        );
     }
 
     #[test]
@@ -256,11 +312,25 @@ mod tests {
         let a = 10;
         // Tiny disturbance: Synapse's free steady-state writes win (its
         // ideal-workload cost is 0 while WT-V pays p(P+N+2) per write).
-        let low = cheaper_rd(ProtocolKind::Synapse, ProtocolKind::WriteThroughV, &sys, 0.3, 1e-4, a);
+        let low = cheaper_rd(
+            ProtocolKind::Synapse,
+            ProtocolKind::WriteThroughV,
+            &sys,
+            0.3,
+            1e-4,
+            a,
+        );
         assert_eq!(low, Some(ProtocolKind::Synapse));
         // Heavy disturbance: Synapse pays ~2S+N+2 per disturbing read and
         // S+N+1 per re-acquisition, WT-V only S+2 per disturbing read.
-        let heavy = cheaper_rd(ProtocolKind::Synapse, ProtocolKind::WriteThroughV, &sys, 0.05, 0.09, a);
+        let heavy = cheaper_rd(
+            ProtocolKind::Synapse,
+            ProtocolKind::WriteThroughV,
+            &sys,
+            0.05,
+            0.09,
+            a,
+        );
         assert_eq!(heavy, Some(ProtocolKind::WriteThroughV));
     }
 

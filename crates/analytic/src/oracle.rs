@@ -36,7 +36,10 @@ impl Global {
     pub fn initial(protocol: &dyn CoherenceProtocol, sys: &SystemParams) -> Self {
         let mut states = vec![protocol.initial_state(Role::Client); sys.n_nodes()];
         states[sys.home().idx()] = protocol.initial_state(Role::Sequencer);
-        Global { states, owner: sys.home() }
+        Global {
+            states,
+            owner: sys.home(),
+        }
     }
 }
 
@@ -149,7 +152,10 @@ pub fn execute(
         OpKind::Write => MsgKind::WReq,
     };
     let mut queue: VecDeque<(NodeId, Msg)> = VecDeque::new();
-    queue.push_back((node, Msg::app_request(req_kind, node, node == sys.home(), obj, OpTag(0))));
+    queue.push_back((
+        node,
+        Msg::app_request(req_kind, node, node == sys.home(), obj, OpTag(0)),
+    ));
 
     let mut cost = 0u64;
     let mut kinds = Vec::new();
@@ -183,7 +189,17 @@ pub fn execute(
         g.states[dst.idx()] = next;
     }
 
-    OpOutcome { sig: TraceSig { initiator: node, op, cost }, cost, kinds, rets, changes }
+    OpOutcome {
+        sig: TraceSig {
+            initiator: node,
+            op,
+            cost,
+        },
+        cost,
+        kinds,
+        rets,
+        changes,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,243 @@
+//! Memoized chain solves for parameter sweeps.
+//!
+//! The sweep experiments (Figures 5/6, Tables 6/7, the crossover scans)
+//! evaluate `analyze` over dense parameter grids where many grid points
+//! share the same `(protocol, system, scenario)` triple — e.g. every
+//! protocol curve in a crossover scan re-solves the same chain for the
+//! shared axis values, and multi-threaded sweeps would otherwise repeat
+//! work across workers. [`SolverCache`] memoizes stationary solves behind
+//! a mutex so concurrent sweep workers share results.
+//!
+//! ## Keying
+//!
+//! A solve is identified by the protocol kind, the full [`SystemParams`],
+//! the scenario's actor list with probabilities **quantized to 1e-12**,
+//! and a digest of the [`AnalyzeOpts`]. Quantization makes the key
+//! `Eq + Hash` despite `f64` probabilities; 1e-12 is far below any
+//! physically meaningful workload difference and far above f64 noise in
+//! the `1e-14`-tolerance solver, so two scenarios that collide produce
+//! results identical to well below the solver tolerance.
+//!
+//! Only successful solves are cached: errors (state-space blowup, solver
+//! divergence) are returned to the caller and retried on the next lookup.
+//!
+//! Results are handed out as `Arc<ChainResult>` so hits are O(1) — no
+//! clone of the trace-probability map.
+
+use crate::chain::{analyze, AnalyzeError, AnalyzeOpts, ChainResult};
+use parking_lot::Mutex;
+use repmem_core::{CoherenceProtocol, ProtocolKind, Scenario, SystemParams};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Probability quantum for cache keys (see module docs).
+const QUANTUM: f64 = 1e-12;
+
+fn quantize(p: f64) -> i64 {
+    (p / QUANTUM).round() as i64
+}
+
+/// Hashable identity of one `analyze` invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    protocol: ProtocolKind,
+    n_clients: usize,
+    s: u64,
+    p: u64,
+    m_objects: usize,
+    /// `(node, read_prob, write_prob)` per actor, probabilities quantized.
+    actors: Vec<(u16, i64, i64)>,
+    lump: bool,
+    /// Solver tolerance, bit-exact.
+    tol_bits: u64,
+    max_iter: usize,
+    dense_cutoff: usize,
+    max_states: usize,
+}
+
+impl Key {
+    fn new(
+        protocol: ProtocolKind,
+        sys: &SystemParams,
+        scenario: &Scenario,
+        opts: &AnalyzeOpts,
+    ) -> Key {
+        Key {
+            protocol,
+            n_clients: sys.n_clients,
+            s: sys.s,
+            p: sys.p,
+            m_objects: sys.m_objects,
+            actors: scenario
+                .actors
+                .iter()
+                .map(|a| (a.node.0, quantize(a.read_prob), quantize(a.write_prob)))
+                .collect(),
+            lump: opts.lump,
+            tol_bits: opts.stationary.tol.to_bits(),
+            max_iter: opts.stationary.max_iter,
+            dense_cutoff: opts.dense_cutoff,
+            max_states: opts.max_states,
+        }
+    }
+}
+
+/// A thread-safe memo table over [`analyze`].
+///
+/// Shared by reference (or `Arc`) across sweep workers; see
+/// `repmem-bench`'s sweep engine for the main consumer.
+#[derive(Default)]
+pub struct SolverCache {
+    map: Mutex<HashMap<Key, Arc<ChainResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolverCache {
+    /// An empty cache.
+    pub fn new() -> SolverCache {
+        SolverCache::default()
+    }
+
+    /// Memoized [`analyze`]: returns the cached stationary solve for this
+    /// `(protocol, system, scenario, opts)` if present, otherwise solves
+    /// and caches.
+    ///
+    /// The chain is solved *outside* the lock, so a slow solve never
+    /// blocks hits on other keys; if two workers race on the same fresh
+    /// key both solve it (deterministically, to the same result) and the
+    /// first insertion wins.
+    pub fn analyze(
+        &self,
+        protocol: &dyn CoherenceProtocol,
+        sys: &SystemParams,
+        scenario: &Scenario,
+        opts: AnalyzeOpts,
+    ) -> Result<Arc<ChainResult>, AnalyzeError> {
+        let key = Key::new(protocol.kind(), sys, scenario, &opts);
+        if let Some(hit) = self.map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = Arc::new(analyze(protocol, sys, scenario, opts)?);
+        let mut map = self.map.lock();
+        Ok(Arc::clone(map.entry(key).or_insert(result)))
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to solve.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Number of distinct solves currently stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// `true` when no solve has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repmem_protocols::protocol;
+
+    #[test]
+    fn hit_returns_identical_result() {
+        let cache = SolverCache::new();
+        let sys = SystemParams::new(4, 100, 30);
+        let sc = Scenario::read_disturbance(0.3, 0.05, 2).unwrap();
+        let proto = protocol(ProtocolKind::Berkeley);
+        let a = cache
+            .analyze(proto, &sys, &sc, AnalyzeOpts::default())
+            .unwrap();
+        let b = cache
+            .analyze(proto, &sys, &sc, AnalyzeOpts::default())
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memoized_matches_fresh_solve() {
+        let cache = SolverCache::new();
+        let sys = SystemParams::new(5, 80, 20);
+        let sc = Scenario::write_disturbance(0.2, 0.04, 2).unwrap();
+        for kind in ProtocolKind::ALL {
+            let proto = protocol(kind);
+            let cached = cache
+                .analyze(proto, &sys, &sc, AnalyzeOpts::default())
+                .unwrap();
+            let fresh = analyze(proto, &sys, &sc, AnalyzeOpts::default()).unwrap();
+            assert!(
+                (cached.acc - fresh.acc).abs() < 1e-12,
+                "{kind:?}: cached {} vs fresh {}",
+                cached.acc,
+                fresh.acc
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_scenarios_do_not_collide() {
+        let cache = SolverCache::new();
+        let sys = SystemParams::new(4, 100, 30);
+        let proto = protocol(ProtocolKind::WriteThrough);
+        let a = Scenario::ideal(0.3).unwrap();
+        let b = Scenario::ideal(0.3 + 1e-6).unwrap();
+        let ra = cache
+            .analyze(proto, &sys, &a, AnalyzeOpts::default())
+            .unwrap();
+        let rb = cache
+            .analyze(proto, &sys, &b, AnalyzeOpts::default())
+            .unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert!((ra.acc - rb.acc).abs() > 0.0);
+    }
+
+    #[test]
+    fn protocol_kind_distinguishes_entries() {
+        let cache = SolverCache::new();
+        let sys = SystemParams::new(4, 100, 30);
+        let sc = Scenario::ideal(0.4).unwrap();
+        cache
+            .analyze(
+                protocol(ProtocolKind::WriteThrough),
+                &sys,
+                &sc,
+                AnalyzeOpts::default(),
+            )
+            .unwrap();
+        cache
+            .analyze(
+                protocol(ProtocolKind::Dragon),
+                &sys,
+                &sc,
+                AnalyzeOpts::default(),
+            )
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -10,9 +10,7 @@
 
 use crate::chain::{analyze, AnalyzeOpts};
 use crate::oracle::{execute, Global};
-use repmem_core::{
-    CoherenceProtocol, MsgKind, NodeId, OpKind, Scenario, SystemParams,
-};
+use repmem_core::{CoherenceProtocol, MsgKind, NodeId, OpKind, Scenario, SystemParams};
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 /// One element of the trace set `TR`.
@@ -31,7 +29,11 @@ pub struct TraceInfo {
 impl TraceInfo {
     /// Human-readable rendering, e.g. `client write: W-PER, W-INV×4 (cc=34)`.
     pub fn describe(&self) -> String {
-        let who = if self.sequencer_initiated { "sequencer" } else { "client" };
+        let who = if self.sequencer_initiated {
+            "sequencer"
+        } else {
+            "client"
+        };
         if self.messages.is_empty() {
             return format!("{who} {}: local (cc=0)", self.op);
         }
@@ -63,7 +65,10 @@ impl TraceInfo {
 /// `TR` is finite is witnessed by termination of the closed reachable-set
 /// walk.
 pub fn trace_set(protocol: &dyn CoherenceProtocol, sys: &SystemParams) -> Vec<TraceInfo> {
-    assert!(sys.n_clients >= 2, "need two clients to exercise remote traces");
+    assert!(
+        sys.n_clients >= 2,
+        "need two clients to exercise remote traces"
+    );
     let actors: Vec<NodeId> = vec![NodeId(0), NodeId(1), sys.home()];
     let ops = [OpKind::Read, OpKind::Write];
 
@@ -107,7 +112,8 @@ pub fn trace_distribution(
         .expect("chain analysis for trace distribution");
     let mut out: BTreeMap<(bool, OpKind, u64), f64> = BTreeMap::new();
     for (sig, prob) in result.trace_probs {
-        *out.entry((sig.initiator == sys.home(), sig.op, sig.cost)).or_insert(0.0) += prob;
+        *out.entry((sig.initiator == sys.home(), sig.op, sig.cost))
+            .or_insert(0.0) += prob;
     }
     out
 }
@@ -190,7 +196,11 @@ mod tests {
             .iter()
             .find(|t| t.op == OpKind::Read && t.cost == 2 * sys.s + sys.n_clients as u64 + 2)
             .expect("dirty-read trace");
-        let recalls = dirty_read.messages.iter().filter(|k| **k == MsgKind::Recall).count();
+        let recalls = dirty_read
+            .messages
+            .iter()
+            .filter(|k| **k == MsgKind::Recall)
+            .count();
         assert_eq!(recalls, sys.n_clients - 1, "broadcast recall fan-out");
     }
 
@@ -202,7 +212,11 @@ mod tests {
             .iter()
             .find(|t| t.op == OpKind::Read && !t.sequencer_initiated && t.cost == 2 * sys.s + 4)
             .expect("dirty-read trace");
-        let recalls = dirty_read.messages.iter().filter(|k| **k == MsgKind::Recall).count();
+        let recalls = dirty_read
+            .messages
+            .iter()
+            .filter(|k| **k == MsgKind::Recall)
+            .count();
         assert_eq!(recalls, 1, "targeted recall");
     }
 

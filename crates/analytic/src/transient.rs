@@ -48,7 +48,11 @@ pub fn profile(
         Some(i) if i + 1 < profile.len() => settled_after = Some(i + 1),
         Some(_) => {}
     }
-    Ok(TransientProfile { expected_cost: profile, acc, settled_after })
+    Ok(TransientProfile {
+        expected_cost: profile,
+        acc,
+        settled_after,
+    })
 }
 
 /// Convenience: the settling operation count, or `horizon` if the band is
@@ -60,7 +64,9 @@ pub fn burn_in(
     rel_tol: f64,
     horizon: usize,
 ) -> Result<usize, AnalyzeError> {
-    Ok(profile(protocol, sys, scenario, rel_tol, horizon)?.settled_after.unwrap_or(horizon))
+    Ok(profile(protocol, sys, scenario, rel_tol, horizon)?
+        .settled_after
+        .unwrap_or(horizon))
 }
 
 fn iterate(model: &ChainModel, horizon: usize) -> Vec<f64> {
@@ -100,7 +106,14 @@ mod tests {
     fn profile_converges_to_stationary_acc() {
         let sys = SystemParams::new(5, 80, 20);
         let scenario = Scenario::read_disturbance(0.3, 0.06, 3).unwrap();
-        let p = profile(protocol(ProtocolKind::Synapse), &sys, &scenario, 0.001, 2000).unwrap();
+        let p = profile(
+            protocol(ProtocolKind::Synapse),
+            &sys,
+            &scenario,
+            0.001,
+            2000,
+        )
+        .unwrap();
         let last = *p.expected_cost.last().unwrap();
         assert!(
             (last - p.acc).abs() < 1e-3 * p.acc,
@@ -117,8 +130,20 @@ mod tests {
         // the first expected cost exceeds the stationary one.
         let sys = SystemParams::new(5, 200, 10);
         let scenario = Scenario::read_disturbance(0.1, 0.02, 2).unwrap();
-        let p = profile(protocol(ProtocolKind::WriteThrough), &sys, &scenario, 0.01, 200).unwrap();
-        assert!(p.expected_cost[0] > p.acc, "cold start {} vs acc {}", p.expected_cost[0], p.acc);
+        let p = profile(
+            protocol(ProtocolKind::WriteThrough),
+            &sys,
+            &scenario,
+            0.01,
+            200,
+        )
+        .unwrap();
+        assert!(
+            p.expected_cost[0] > p.acc,
+            "cold start {} vs acc {}",
+            p.expected_cost[0],
+            p.acc
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ fn bench_lumping(c: &mut Criterion) {
                             protocol(ProtocolKind::Synapse),
                             &sys,
                             &scenario,
-                            AnalyzeOpts { lump, ..AnalyzeOpts::default() },
+                            AnalyzeOpts {
+                                lump,
+                                ..AnalyzeOpts::default()
+                            },
                         )
                         .unwrap()
                         .acc,
@@ -48,7 +51,10 @@ fn bench_solvers(c: &mut Criterion) {
                         protocol(ProtocolKind::Berkeley),
                         &sys,
                         &scenario,
-                        AnalyzeOpts { dense_cutoff: cutoff, ..AnalyzeOpts::default() },
+                        AnalyzeOpts {
+                            dense_cutoff: cutoff,
+                            ..AnalyzeOpts::default()
+                        },
                     )
                     .unwrap()
                     .acc,

@@ -11,40 +11,57 @@ use std::time::Duration;
 const OPS: usize = 500;
 
 fn bench_runtime(c: &mut Criterion) {
-    let sys = SystemParams { n_clients: 4, s: 64, p: 16, m_objects: 4 };
+    let sys = SystemParams {
+        n_clients: 4,
+        s: 64,
+        p: 16,
+        m_objects: 4,
+    };
     let mut g = c.benchmark_group("runtime/ops_per_sec");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     g.throughput(Throughput::Elements(OPS as u64));
-    for kind in [ProtocolKind::Berkeley, ProtocolKind::WriteThrough, ProtocolKind::Dragon] {
-        g.bench_with_input(BenchmarkId::new("owner_local", kind.name()), &kind, |b, &kind| {
-            // One writer re-reading its own object: the protocols'
-            // steady-state fast path.
-            let cluster = Cluster::new(sys, kind);
-            let h = cluster.handle(NodeId(0));
-            let payload = Bytes::from_static(b"payload");
-            b.iter(|| {
-                for _ in 0..OPS / 2 {
-                    h.write(ObjectId(0), payload.clone());
-                    black_box(h.read(ObjectId(0)));
-                }
-            });
-            cluster.shutdown();
-        });
-        g.bench_with_input(BenchmarkId::new("cross_node", kind.name()), &kind, |b, &kind| {
-            // Writer on node 0, reader on node 1: every round trips the
-            // coherence machinery.
-            let cluster = Cluster::new(sys, kind);
-            let w = cluster.handle(NodeId(0));
-            let r = cluster.handle(NodeId(1));
-            let payload = Bytes::from_static(b"payload");
-            b.iter(|| {
-                for _ in 0..OPS / 2 {
-                    w.write(ObjectId(1), payload.clone());
-                    black_box(r.read(ObjectId(1)));
-                }
-            });
-            cluster.shutdown();
-        });
+    for kind in [
+        ProtocolKind::Berkeley,
+        ProtocolKind::WriteThrough,
+        ProtocolKind::Dragon,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("owner_local", kind.name()),
+            &kind,
+            |b, &kind| {
+                // One writer re-reading its own object: the protocols'
+                // steady-state fast path.
+                let cluster = Cluster::new(sys, kind);
+                let h = cluster.handle(NodeId(0));
+                let payload = Bytes::from_static(b"payload");
+                b.iter(|| {
+                    for _ in 0..OPS / 2 {
+                        h.write(ObjectId(0), payload.clone());
+                        black_box(h.read(ObjectId(0)));
+                    }
+                });
+                cluster.shutdown();
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("cross_node", kind.name()),
+            &kind,
+            |b, &kind| {
+                // Writer on node 0, reader on node 1: every round trips the
+                // coherence machinery.
+                let cluster = Cluster::new(sys, kind);
+                let w = cluster.handle(NodeId(0));
+                let r = cluster.handle(NodeId(1));
+                let payload = Bytes::from_static(b"payload");
+                b.iter(|| {
+                    for _ in 0..OPS / 2 {
+                        w.write(ObjectId(1), payload.clone());
+                        black_box(r.read(ObjectId(1)));
+                    }
+                });
+                cluster.shutdown();
+            },
+        );
     }
     g.finish();
 }

@@ -31,7 +31,10 @@ fn bench_table7(c: &mut Criterion) {
 
     for (name, mode) in [
         ("table7/sim_serialized_cell", IssueMode::Serialized),
-        ("table7/sim_concurrent_cell", IssueMode::Concurrent { mean_think: 64.0 }),
+        (
+            "table7/sim_concurrent_cell",
+            IssueMode::Concurrent { mean_think: 64.0 },
+        ),
     ] {
         c.bench_function(name, |b| {
             b.iter(|| {

@@ -45,11 +45,19 @@ fn main() {
             let acc = composite_acc(
                 protocol(kind),
                 &sys,
-                &[ObjectClass::new(class.label.clone(), class.scenario.clone(), 1.0)],
+                &[ObjectClass::new(
+                    class.label.clone(),
+                    class.scenario.clone(),
+                    1.0,
+                )],
             )
             .expect("per-class cost");
             row.push(format!("{acc:.2}"));
-            csv.push(vec![kind.name().to_string(), class.label.clone(), acc.to_string()]);
+            csv.push(vec![
+                kind.name().to_string(),
+                class.label.clone(),
+                acc.to_string(),
+            ]);
         }
         let uniform = composite_acc(protocol(kind), &sys, &classes).expect("uniform cost");
         row.push(format!("{uniform:.2}"));

@@ -8,16 +8,23 @@ use repmem_core::{ProtocolKind, Scenario, SystemParams};
 use repmem_protocols::protocol;
 
 fn engine(sys: &SystemParams, scenario: &Scenario) -> f64 {
-    analyze(protocol(ProtocolKind::WriteThrough), sys, scenario, AnalyzeOpts::default())
-        .expect("chain analysis")
-        .acc
+    analyze(
+        protocol(ProtocolKind::WriteThrough),
+        sys,
+        scenario,
+        AnalyzeOpts::default(),
+    )
+    .expect("chain analysis")
+    .acc
 }
 
 fn main() {
     let sys = SystemParams::new(10, 100, 30);
     let a = 4usize;
-    let header: Vec<String> =
-        ["deviation", "p", "x", "closed form", "engine", "|diff|"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["deviation", "p", "x", "closed form", "engine", "|diff|"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     let mut max_diff = 0.0f64;
@@ -36,7 +43,13 @@ fn main() {
                 format!("{e:.6}"),
                 format!("{:.2e}", (c - e).abs()),
             ]);
-            csv.push(vec!["rd".into(), p.to_string(), sigma.to_string(), c.to_string(), e.to_string()]);
+            csv.push(vec![
+                "rd".into(),
+                p.to_string(),
+                sigma.to_string(),
+                c.to_string(),
+                e.to_string(),
+            ]);
         }
         // Eq. (4): write disturbance, x = ξ.
         for &xi in &linspace(0.0, 0.08, 5) {
@@ -51,7 +64,13 @@ fn main() {
                 format!("{e:.6}"),
                 format!("{:.2e}", (c - e).abs()),
             ]);
-            csv.push(vec!["wd".into(), p.to_string(), xi.to_string(), c.to_string(), e.to_string()]);
+            csv.push(vec![
+                "wd".into(),
+                p.to_string(),
+                xi.to_string(),
+                c.to_string(),
+                e.to_string(),
+            ]);
         }
         // Eq. (5): multiple activity centers, x = β.
         for beta in [2usize, 3, 5] {
@@ -66,7 +85,13 @@ fn main() {
                 format!("{e:.6}"),
                 format!("{:.2e}", (c - e).abs()),
             ]);
-            csv.push(vec!["mc".into(), p.to_string(), beta.to_string(), c.to_string(), e.to_string()]);
+            csv.push(vec![
+                "mc".into(),
+                p.to_string(),
+                beta.to_string(),
+                c.to_string(),
+                e.to_string(),
+            ]);
         }
     }
 

@@ -3,16 +3,23 @@
 
 use repmem_analytic::closed::{closed_rd, ideal};
 use repmem_analytic::crossover::{crossover_p, wt_vs_wtv_line, RegionMap};
-use repmem_bench::{linspace, render_table, write_csv, write_text};
+use repmem_bench::{grid2, linspace, par_map, render_table, write_csv, write_text, SweepTimer};
 use repmem_core::{ProtocolKind, SystemParams};
 
 fn main() {
+    let mut timer = SweepTimer::begin("exp-crossover");
     let sys = SystemParams::figure5();
     let a = 10usize;
 
     // 1. Ideal-workload limits (σ = 0), §5.1 bullets.
-    println!("Ideal-workload (σ=0) costs, N={}, S={}, P={}:", sys.n_clients, sys.s, sys.p);
-    let header: Vec<String> = ["protocol", "acc_ideal(p=0.3)", "formula"].iter().map(|s| s.to_string()).collect();
+    println!(
+        "Ideal-workload (σ=0) costs, N={}, S={}, P={}:",
+        sys.n_clients, sys.s, sys.p
+    );
+    let header: Vec<String> = ["protocol", "acc_ideal(p=0.3)", "formula"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let formulas = [
         "p((1-p)(S+2)+P+N)",
         "p(P+N+2)",
@@ -27,7 +34,11 @@ fn main() {
         .iter()
         .zip(formulas)
         .map(|(&k, f)| {
-            vec![k.name().to_string(), format!("{:.2}", ideal(k, &sys, 0.3)), f.to_string()]
+            vec![
+                k.name().to_string(),
+                format!("{:.2}", ideal(k, &sys, 0.3)),
+                f.to_string(),
+            ]
         })
         .collect();
     println!("{}", render_table(&header, &rows));
@@ -49,41 +60,68 @@ fn main() {
         line_rows.push(vec![
             format!("{sigma}"),
             format!("{predicted:.6}"),
-            found.map(|f| format!("{f:.6}")).unwrap_or_else(|| "none".into()),
+            found
+                .map(|f| format!("{f:.6}"))
+                .unwrap_or_else(|| "none".into()),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["sigma".to_string(), "printed line".to_string(), "bisection".to_string()],
+            &[
+                "sigma".to_string(),
+                "printed line".to_string(),
+                "bisection".to_string()
+            ],
             &line_rows
         )
     );
 
     // 3. Dragon / Berkeley crossover: exists only when N·P < S+2.
-    println!("Dragon vs Berkeley (a=1): crossover p* per σ (exists since NP={} < S+2={}):", sys.n_clients as u64 * sys.p, sys.s + 2);
+    println!(
+        "Dragon vs Berkeley (a=1): crossover p* per σ (exists since NP={} < S+2={}):",
+        sys.n_clients as u64 * sys.p,
+        sys.s + 2
+    );
     let mut db_rows = Vec::new();
     for &sigma in &[0.005, 0.01, 0.02, 0.04] {
-        let found = crossover_p(ProtocolKind::Dragon, ProtocolKind::Berkeley, &sys, sigma, 1, 1e-5, 0.9);
+        let found = crossover_p(
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            &sys,
+            sigma,
+            1,
+            1e-5,
+            0.9,
+        );
         // Our closed forms give p* = σ(N+S+2-N(P+1))/(N(P+1)).
-        let ours = sigma * (sys.n_clients as f64 + sys.s as f64 + 2.0 - sys.n_clients as f64 * (sys.p as f64 + 1.0))
+        let ours = sigma
+            * (sys.n_clients as f64 + sys.s as f64 + 2.0
+                - sys.n_clients as f64 * (sys.p as f64 + 1.0))
             / (sys.n_clients as f64 * (sys.p as f64 + 1.0));
         db_rows.push(vec![
             format!("{sigma}"),
             format!("{ours:.6}"),
-            found.map(|f| format!("{f:.6}")).unwrap_or_else(|| "none".into()),
+            found
+                .map(|f| format!("{f:.6}"))
+                .unwrap_or_else(|| "none".into()),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["sigma".to_string(), "derived line".to_string(), "bisection".to_string()],
+            &[
+                "sigma".to_string(),
+                "derived line".to_string(),
+                "bisection".to_string()
+            ],
             &db_rows
         )
     );
 
     // 4. Minimum-cost region map over (σ, p).
     let map = RegionMap::compute(&sys, a, 21, 21);
+    timer.add_points(21 * 21);
     let mut art = String::new();
     art.push_str("Minimum-cost protocol over the (sigma, p) plane (read disturbance,\n");
     art.push_str("N=50, a=10, P=30, S=5000). Rows: p bottom-up; columns: sigma.\n\n");
@@ -118,28 +156,33 @@ fn main() {
     println!("{art}");
     let path = write_text("crossover_region_map.txt", &art);
 
-    // 5. Per-pair winner CSV for downstream plotting.
-    let mut csv = Vec::new();
-    for &p in &linspace(0.0, 1.0, 41) {
-        for &frac in &linspace(0.0, 1.0, 41) {
-            let sigma = frac * (1.0 - p) / a as f64;
-            let mut best = ProtocolKind::WriteThrough;
-            let mut best_cost = f64::INFINITY;
-            for k in ProtocolKind::ALL {
-                let c = closed_rd(k, &sys, p, sigma, a);
-                if c < best_cost {
-                    best_cost = c;
-                    best = k;
-                }
+    // 5. Per-pair winner CSV for downstream plotting, fanned out over
+    // the sweep pool in grid order.
+    let points = grid2(&linspace(0.0, 1.0, 41), &linspace(0.0, 1.0, 41));
+    let csv = par_map(&points, |_, &(p, frac)| {
+        let sigma = frac * (1.0 - p) / a as f64;
+        let mut best = ProtocolKind::WriteThrough;
+        let mut best_cost = f64::INFINITY;
+        for k in ProtocolKind::ALL {
+            let c = closed_rd(k, &sys, p, sigma, a);
+            if c < best_cost {
+                best_cost = c;
+                best = k;
             }
-            csv.push(vec![
-                format!("{p:.4}"),
-                format!("{sigma:.6}"),
-                best.name().to_string(),
-                format!("{best_cost:.4}"),
-            ]);
         }
-    }
-    let cpath = write_csv("crossover_winners.csv", &["p", "sigma", "winner", "acc"], csv);
+        vec![
+            format!("{p:.4}"),
+            format!("{sigma:.6}"),
+            best.name().to_string(),
+            format!("{best_cost:.4}"),
+        ]
+    });
+    timer.add_points(points.len());
+    let cpath = write_csv(
+        "crossover_winners.csv",
+        &["p", "sigma", "winner", "acc"],
+        csv,
+    );
     println!("written: {} and {}", path.display(), cpath.display());
+    timer.finish(None);
 }

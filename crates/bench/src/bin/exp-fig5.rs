@@ -13,7 +13,7 @@
 //! per panel plus a combined all-protocols CSV.
 
 use repmem_analytic::closed::closed_rd;
-use repmem_bench::{ascii_heatmap, linspace, write_csv, write_text};
+use repmem_bench::{ascii_heatmap, grid2, linspace, par_map, write_csv, write_text, SweepTimer};
 use repmem_core::{ProtocolKind, SystemParams};
 
 const STEPS: usize = 41;
@@ -23,22 +23,21 @@ fn surface(
     sys: &SystemParams,
     a: usize,
 ) -> (Vec<&'static str>, Vec<Vec<String>>) {
-    let mut rows = Vec::new();
-    for &p in &linspace(0.0, 1.0, STEPS) {
-        for &frac in &linspace(0.0, 1.0, STEPS) {
-            let sigma = frac * (1.0 - p) / a as f64;
-            let mut row = vec![format!("{p:.4}"), format!("{sigma:.6}")];
-            for &k in kinds {
-                row.push(format!("{:.4}", closed_rd(k, sys, p, sigma, a)));
-            }
-            rows.push(row);
+    let points = grid2(&linspace(0.0, 1.0, STEPS), &linspace(0.0, 1.0, STEPS));
+    let rows = par_map(&points, |_, &(p, frac)| {
+        let sigma = frac * (1.0 - p) / a as f64;
+        let mut row = vec![format!("{p:.4}"), format!("{sigma:.6}")];
+        for &k in kinds {
+            row.push(format!("{:.4}", closed_rd(k, sys, p, sigma, a)));
         }
-    }
+        row
+    });
     let names: Vec<&'static str> = kinds.iter().map(|k| k.name()).collect();
     (names, rows)
 }
 
 fn main() {
+    let mut timer = SweepTimer::begin("exp-fig5");
     let a = 10usize;
     let s5000 = SystemParams::figure5();
     let s100 = SystemParams { s: 100, ..s5000 };
@@ -51,6 +50,7 @@ fn main() {
         ProtocolKind::Berkeley,
     ];
     let (names, rows) = surface(&panel_a, &s5000, a);
+    timer.add_points(rows.len());
     let header: Vec<&str> = ["p", "sigma"].into_iter().chain(names).collect();
     let pa = write_csv("fig5a_ownership.csv", &header, rows);
 
@@ -58,38 +58,39 @@ fn main() {
     // the §5.1 crossover discussion).
     let panel_b = [ProtocolKind::WriteThroughV, ProtocolKind::WriteThrough];
     let (names, rows) = surface(&panel_b, &s100, a);
+    timer.add_points(rows.len());
     let header: Vec<&str> = ["p", "sigma"].into_iter().chain(names).collect();
     let pb = write_csv("fig5b_write_through_v.csv", &header, rows);
 
     // Panel (c): the update protocols at S = 5000.
     let panel_c = [ProtocolKind::Dragon, ProtocolKind::Firefly];
     let (names, rows) = surface(&panel_c, &s5000, a);
+    timer.add_points(rows.len());
     let header: Vec<&str> = ["p", "sigma"].into_iter().chain(names).collect();
     let pc = write_csv("fig5c_update.csv", &header, rows);
 
     // Panel (d): Dragon vs Berkeley winner map.
-    let mut rows = Vec::new();
-    for &p in &linspace(0.0, 1.0, STEPS) {
-        for &frac in &linspace(0.0, 1.0, STEPS) {
-            let sigma = frac * (1.0 - p) / a as f64;
-            let d = closed_rd(ProtocolKind::Dragon, &s5000, p, sigma, a);
-            let b = closed_rd(ProtocolKind::Berkeley, &s5000, p, sigma, a);
-            let winner = if (d - b).abs() < 1e-12 {
-                "tie"
-            } else if d < b {
-                "Dragon"
-            } else {
-                "Berkeley"
-            };
-            rows.push(vec![
-                format!("{p:.4}"),
-                format!("{sigma:.6}"),
-                format!("{d:.4}"),
-                format!("{b:.4}"),
-                winner.to_string(),
-            ]);
-        }
-    }
+    let points = grid2(&linspace(0.0, 1.0, STEPS), &linspace(0.0, 1.0, STEPS));
+    let rows = par_map(&points, |_, &(p, frac)| {
+        let sigma = frac * (1.0 - p) / a as f64;
+        let d = closed_rd(ProtocolKind::Dragon, &s5000, p, sigma, a);
+        let b = closed_rd(ProtocolKind::Berkeley, &s5000, p, sigma, a);
+        let winner = if (d - b).abs() < 1e-12 {
+            "tie"
+        } else if d < b {
+            "Dragon"
+        } else {
+            "Berkeley"
+        };
+        vec![
+            format!("{p:.4}"),
+            format!("{sigma:.6}"),
+            format!("{d:.4}"),
+            format!("{b:.4}"),
+            winner.to_string(),
+        ]
+    });
+    timer.add_points(rows.len());
     let pd = write_csv(
         "fig5d_dragon_vs_berkeley.csv",
         &["p", "sigma", "Dragon", "Berkeley", "winner"],
@@ -98,6 +99,7 @@ fn main() {
 
     // Combined surface over all eight protocols at S = 5000.
     let (names, rows) = surface(&ProtocolKind::ALL, &s5000, a);
+    timer.add_points(rows.len());
     let header: Vec<&str> = ["p", "sigma"].into_iter().chain(names).collect();
     let pall = write_csv("fig5_all_protocols.csv", &header, rows);
 
@@ -110,8 +112,9 @@ fn main() {
     // matching the qualitative shape of the paper's 3-D plots.
     let mut art = String::new();
     let coarse = 25usize;
-    let row_labels: Vec<String> =
-        (0..coarse).map(|i| format!("p={:.2}", i as f64 / (coarse - 1) as f64)).collect();
+    let row_labels: Vec<String> = (0..coarse)
+        .map(|i| format!("p={:.2}", i as f64 / (coarse - 1) as f64))
+        .collect();
     for (kind, sys) in [
         (ProtocolKind::Berkeley, &s5000),
         (ProtocolKind::Synapse, &s5000),
@@ -123,8 +126,7 @@ fn main() {
                 let p = i as f64 / (coarse - 1) as f64;
                 (0..coarse)
                     .map(|j| {
-                        let sigma =
-                            j as f64 / (coarse - 1) as f64 * (1.0 - p) / a as f64;
+                        let sigma = j as f64 / (coarse - 1) as f64 * (1.0 - p) / a as f64;
                         closed_rd(kind, sys, p, sigma, a)
                     })
                     .collect()
@@ -147,4 +149,5 @@ fn main() {
     assert!(mid(ProtocolKind::Illinois) <= mid(ProtocolKind::Synapse));
     assert_eq!(closed_rd(ProtocolKind::Dragon, &s5000, 0.0, 0.05, a), 0.0);
     println!("section 5.1 shape checks passed (Berkeley <= Illinois <= Synapse; p=0 free).");
+    timer.finish(None);
 }

@@ -4,9 +4,10 @@
 //! formula here is re-derived for our protocol definitions (DESIGN.md §4)
 //! and verified against the chain engine at every printed point.
 
-use repmem_analytic::chain::{analyze, AnalyzeOpts};
+use repmem_analytic::chain::AnalyzeOpts;
 use repmem_analytic::closed::closed_rd;
-use repmem_bench::{render_table, write_csv, write_text};
+use repmem_analytic::SolverCache;
+use repmem_bench::{grid2, par_map, render_table, write_csv, write_text, SweepTimer};
 use repmem_core::{ProtocolKind, Scenario, SystemParams};
 use repmem_protocols::protocol;
 
@@ -47,22 +48,30 @@ fn main() {
     }
     println!("{text}");
 
-    // Spot-check grid, every formula vs the engine.
+    // Spot-check grid, every formula vs the engine, fanned out over the
+    // sweep pool with memoized chain solves.
+    let mut timer = SweepTimer::begin("exp-table6");
+    let cache = SolverCache::new();
     let points = [(0.1, 0.01), (0.3, 0.03), (0.5, 0.02), (0.7, 0.025)];
     let header: Vec<String> = std::iter::once("protocol".to_string())
         .chain(points.iter().map(|(p, s)| format!("p={p},σ={s}")))
         .collect();
+    let cells = grid2(&ProtocolKind::ALL, &points);
+    let solved = par_map(&cells, |_, &(kind, (p, sigma))| {
+        let c = closed_rd(kind, &sys, p, sigma, a);
+        let scenario = Scenario::read_disturbance(p, sigma, a).unwrap();
+        let e = cache
+            .analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
+            .expect("chain analysis")
+            .acc;
+        (kind, p, sigma, c, e)
+    });
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     let mut max_rel = 0.0f64;
-    for kind in ProtocolKind::ALL {
-        let mut row = vec![kind.name().to_string()];
-        for &(p, sigma) in &points {
-            let c = closed_rd(kind, &sys, p, sigma, a);
-            let scenario = Scenario::read_disturbance(p, sigma, a).unwrap();
-            let e = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
-                .expect("chain analysis")
-                .acc;
+    for chunk in solved.chunks(points.len()) {
+        let mut row = vec![chunk[0].0.name().to_string()];
+        for &(kind, p, sigma, c, e) in chunk {
             let rel = (c - e).abs() / e.abs().max(1e-12);
             max_rel = max_rel.max(rel);
             row.push(format!("{c:.2}"));
@@ -79,11 +88,20 @@ fn main() {
     let table = render_table(&header, &rows);
     println!("Spot values (N=50, a=10, P=30, S=5000):\n\n{table}");
     println!("max relative |closed - engine| over the grid: {max_rel:.3e}");
-    assert!(max_rel < 1e-8, "Table 6 reconstruction drifted from the engine");
+    assert!(
+        max_rel < 1e-8,
+        "Table 6 reconstruction drifted from the engine"
+    );
 
     text.push_str("\nSpot values (N=50, a=10, P=30, S=5000):\n\n");
     text.push_str(&table);
     let tpath = write_text("table6.txt", &text);
-    let cpath = write_csv("table6_spot.csv", &["protocol", "p", "sigma", "closed", "engine"], csv);
+    let cpath = write_csv(
+        "table6_spot.csv",
+        &["protocol", "p", "sigma", "closed", "engine"],
+        csv,
+    );
     println!("written: {} and {}", tpath.display(), cpath.display());
+    timer.add_points(cells.len());
+    timer.finish(Some(&cache));
 }

@@ -16,21 +16,38 @@ fn main() {
     // Clients 0 (reads+writes) and 1 (reads), plus the sequencer
     // (reads+writes) so the seq-initiated traces tr5/tr6 appear too.
     let scenario = Scenario::new(vec![
-        ActorSpec { node: NodeId(0), read_prob: 0.35, write_prob: 0.25 },
-        ActorSpec { node: NodeId(1), read_prob: 0.20, write_prob: 0.0 },
-        ActorSpec { node: sys.home(), read_prob: 0.10, write_prob: 0.10 },
+        ActorSpec {
+            node: NodeId(0),
+            read_prob: 0.35,
+            write_prob: 0.25,
+        },
+        ActorSpec {
+            node: NodeId(1),
+            read_prob: 0.20,
+            write_prob: 0.0,
+        },
+        ActorSpec {
+            node: sys.home(),
+            read_prob: 0.10,
+            write_prob: 0.10,
+        },
     ])
     .expect("valid scenario");
 
-    println!("Trace sets per protocol (N={}, S={}, P={})", sys.n_clients, sys.s, sys.p);
+    println!(
+        "Trace sets per protocol (N={}, S={}, P={})",
+        sys.n_clients, sys.s, sys.p
+    );
     println!("scenario: client0 r/w, client1 r, sequencer r/w\n");
 
     let mut csv_rows = Vec::new();
     for kind in ProtocolKind::ALL {
         let r = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
             .expect("chain analysis");
-        let header: Vec<String> =
-            ["initiator", "op", "cc_h", "pi_h"].iter().map(|s| s.to_string()).collect();
+        let header: Vec<String> = ["initiator", "op", "cc_h", "pi_h"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut rows = Vec::new();
         for (sig, prob) in &r.trace_probs {
             if *prob < 1e-12 {
@@ -50,7 +67,12 @@ fn main() {
                 format!("{prob:.9}"),
             ]);
         }
-        println!("{} — {} traces, acc = {:.4}", kind.name(), rows.len(), r.acc);
+        println!(
+            "{} — {} traces, acc = {:.4}",
+            kind.name(),
+            rows.len(),
+            r.acc
+        );
         println!("{}", render_table(&header, &rows));
     }
     let path = write_csv(
@@ -72,7 +94,10 @@ fn main() {
         wt.trace_probs.keys().map(|sig| sig.cost).collect();
     let n = sys.n_clients as u64;
     for expect in [0, sys.s + 2, sys.p + n, n] {
-        assert!(costs.contains(&expect), "missing Write-Through trace cost {expect}");
+        assert!(
+            costs.contains(&expect),
+            "missing Write-Through trace cost {expect}"
+        );
     }
     println!(
         "Write-Through trace costs {{0, S+2, P+N, N}} = {{0, {}, {}, {}}} all present — matches paper §4.1.",

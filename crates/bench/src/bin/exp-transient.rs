@@ -18,12 +18,22 @@ fn main() {
         "Transient profile: Table 7 configuration (N={}, S={}, P={}), RD p=0.4 σ=0.2 a=2",
         sys.n_clients, sys.s, sys.p
     );
-    println!("Band: expected per-op cost within {:.0} % of stationary acc.\n", tol * 100.0);
+    println!(
+        "Band: expected per-op cost within {:.0} % of stationary acc.\n",
+        tol * 100.0
+    );
 
-    let header: Vec<String> = ["protocol", "acc", "E[cost] op#1", "op#10", "op#50", "settled after"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "protocol",
+        "acc",
+        "E[cost] op#1",
+        "op#10",
+        "op#50",
+        "settled after",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     let mut worst = 0usize;
@@ -46,9 +56,17 @@ fn main() {
     println!("{}", render_table(&header, &rows));
     println!(
         "worst-case settling: {worst} operations — the paper's 500-operation warm-up is {}.",
-        if worst < 500 { "conservative (as intended)" } else { "NOT sufficient here" }
+        if worst < 500 {
+            "conservative (as intended)"
+        } else {
+            "NOT sufficient here"
+        }
     );
     assert!(worst < 500, "burn-in exceeded the paper's warm-up budget");
-    let path = write_csv("transient_profiles.csv", &["protocol", "op", "expected_cost"], csv);
+    let path = write_csv(
+        "transient_profiles.csv",
+        &["protocol", "op", "expected_cost"],
+        csv,
+    );
     println!("written: {}", path.display());
 }

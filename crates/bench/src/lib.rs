@@ -18,6 +18,10 @@
 //! | `exp-crossover` | §5.1 dominance and crossover analysis |
 //! | `exp-adaptive` | §6 adaptive self-tuning extension |
 
+pub mod sweep;
+
+pub use sweep::{grid2, par_map, par_map_with, worker_count, SweepTimer};
+
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -54,7 +58,9 @@ pub fn write_text(name: &str, contents: &str) -> PathBuf {
 /// Inclusive linspace of `n` points over `[lo, hi]`.
 pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2);
-    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
 }
 
 /// Render a fixed-width table for terminal output.
@@ -90,11 +96,7 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
 /// printed top-down from the *last* row, so increasing `p` goes up, like
 /// the paper's surface plots). Values are normalized to the field's own
 /// maximum.
-pub fn ascii_heatmap(
-    title: &str,
-    row_labels: &[String],
-    values: &[Vec<f64>],
-) -> String {
+pub fn ascii_heatmap(title: &str, row_labels: &[String], values: &[Vec<f64>]) -> String {
     const SHADES: &[u8] = b" .:-=+*#%@";
     let max = values
         .iter()
@@ -150,7 +152,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["a".into(), "long".into()],
-            &[vec!["1".into(), "2".into()], vec!["10".into(), "20000".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "20000".into()],
+            ],
         );
         assert!(t.contains("a"));
         assert!(t.lines().count() >= 4);

@@ -154,14 +154,24 @@ impl Msg {
     /// the head of the issuing node's queue. On a client the request sits
     /// in the local queue; on the sequencer it goes through the
     /// distributed queue (paper §2).
-    pub fn app_request(kind: MsgKind, node: NodeId, is_sequencer: bool, object: ObjectId, op: OpTag) -> Self {
+    pub fn app_request(
+        kind: MsgKind,
+        node: NodeId,
+        is_sequencer: bool,
+        object: ObjectId,
+        op: OpTag,
+    ) -> Self {
         debug_assert!(kind.is_app_request());
         Msg {
             kind,
             initiator: node,
             sender: node,
             object,
-            queue: if is_sequencer { QueueKind::Distributed } else { QueueKind::Local },
+            queue: if is_sequencer {
+                QueueKind::Distributed
+            } else {
+                QueueKind::Local
+            },
             payload: match kind {
                 MsgKind::WReq => PayloadKind::Params,
                 _ => PayloadKind::Token,

@@ -32,7 +32,12 @@ pub struct SystemParams {
 impl SystemParams {
     /// Convenience constructor for a single-object system.
     pub fn new(n_clients: usize, s: u64, p: u64) -> Self {
-        Self { n_clients, s, p, m_objects: 1 }
+        Self {
+            n_clients,
+            s,
+            p,
+            m_objects: 1,
+        }
     }
 
     /// Total number of nodes, `N + 1`.
@@ -73,7 +78,12 @@ impl SystemParams {
 
     /// The paper's Table 7 configuration: `N=3, P=30, S=100, M=20`.
     pub fn table7() -> Self {
-        Self { n_clients: 3, s: 100, p: 30, m_objects: 20 }
+        Self {
+            n_clients: 3,
+            s: 100,
+            p: 30,
+            m_objects: 20,
+        }
     }
 }
 

@@ -140,7 +140,11 @@ impl Scenario {
     /// **Ideal workload**: only the activity center (client 0) accesses the
     /// object — writes with probability `p`, reads otherwise.
     pub fn ideal(p: f64) -> Result<Self, ScenarioError> {
-        Scenario::new(vec![ActorSpec { node: NodeId(0), read_prob: snap(1.0 - p), write_prob: p }])
+        Scenario::new(vec![ActorSpec {
+            node: NodeId(0),
+            read_prob: snap(1.0 - p),
+            write_prob: p,
+        }])
     }
 
     /// **Read disturbance** (paper §4.2): the activity center (client 0)
@@ -203,16 +207,23 @@ impl Scenario {
 
     /// Highest client index used, for sizing a [`crate::SystemParams`].
     pub fn max_node(&self) -> NodeId {
-        self.actors.iter().map(|a| a.node).max().expect("scenario is non-empty")
+        self.actors
+            .iter()
+            .map(|a| a.node)
+            .max()
+            .expect("scenario is non-empty")
     }
 
     /// Enumerate the sample space as `(node, op, probability)` triples,
     /// omitting zero-probability events.
     pub fn events(&self) -> impl Iterator<Item = (NodeId, OpKind, f64)> + '_ {
         self.actors.iter().flat_map(|a| {
-            [(a.node, OpKind::Read, a.read_prob), (a.node, OpKind::Write, a.write_prob)]
-                .into_iter()
-                .filter(|&(_, _, p)| p > 0.0)
+            [
+                (a.node, OpKind::Read, a.read_prob),
+                (a.node, OpKind::Write, a.write_prob),
+            ]
+            .into_iter()
+            .filter(|&(_, _, p)| p > 0.0)
         })
     }
 }
@@ -262,12 +273,30 @@ mod tests {
     #[test]
     fn rejects_duplicates_and_bad_sums() {
         let dup = vec![
-            ActorSpec { node: NodeId(1), read_prob: 0.5, write_prob: 0.0 },
-            ActorSpec { node: NodeId(1), read_prob: 0.5, write_prob: 0.0 },
+            ActorSpec {
+                node: NodeId(1),
+                read_prob: 0.5,
+                write_prob: 0.0,
+            },
+            ActorSpec {
+                node: NodeId(1),
+                read_prob: 0.5,
+                write_prob: 0.0,
+            },
         ];
-        assert!(matches!(Scenario::new(dup), Err(ScenarioError::DuplicateNode(_))));
-        let short = vec![ActorSpec { node: NodeId(0), read_prob: 0.5, write_prob: 0.0 }];
-        assert!(matches!(Scenario::new(short), Err(ScenarioError::DoesNotSumToOne(_))));
+        assert!(matches!(
+            Scenario::new(dup),
+            Err(ScenarioError::DuplicateNode(_))
+        ));
+        let short = vec![ActorSpec {
+            node: NodeId(0),
+            read_prob: 0.5,
+            write_prob: 0.0,
+        }];
+        assert!(matches!(
+            Scenario::new(short),
+            Err(ScenarioError::DoesNotSumToOne(_))
+        ));
         assert!(matches!(Scenario::new(vec![]), Err(ScenarioError::Empty)));
     }
 

@@ -38,15 +38,31 @@ mod tests {
 
     #[test]
     fn display() {
-        let t = TraceSig { initiator: NodeId(1), op: OpKind::Write, cost: 33 };
+        let t = TraceSig {
+            initiator: NodeId(1),
+            op: OpKind::Write,
+            cost: 33,
+        };
         assert_eq!(t.to_string(), "n1 write (cc=33)");
     }
 
     #[test]
     fn ordering_groups_by_initiator_then_op() {
-        let a = TraceSig { initiator: NodeId(0), op: OpKind::Read, cost: 5 };
-        let b = TraceSig { initiator: NodeId(0), op: OpKind::Write, cost: 0 };
-        let c = TraceSig { initiator: NodeId(1), op: OpKind::Read, cost: 0 };
+        let a = TraceSig {
+            initiator: NodeId(0),
+            op: OpKind::Read,
+            cost: 5,
+        };
+        let b = TraceSig {
+            initiator: NodeId(0),
+            op: OpKind::Write,
+            cost: 0,
+        };
+        let c = TraceSig {
+            initiator: NodeId(1),
+            op: OpKind::Read,
+            cost: 0,
+        };
         assert!(a < b && b < c);
     }
 }

@@ -12,7 +12,11 @@ pub struct Triplets {
 impl Triplets {
     /// New accumulator for an `n_rows × n_cols` matrix.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        Triplets { n_rows, n_cols, entries: Vec::new() }
+        Triplets {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Record `A[i][j] += v`. Zero values are skipped.
@@ -58,7 +62,13 @@ impl Triplets {
         for r in 0..self.n_rows {
             row_ptr[r + 1] = row_ptr[r] + counts[r];
         }
-        Csr { n_rows: self.n_rows, n_cols: self.n_cols, row_ptr, col_idx, vals }
+        Csr {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 }
 
@@ -96,7 +106,10 @@ impl Csr {
     pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
-        self.col_idx[lo..hi].iter().zip(&self.vals[lo..hi]).map(|(&j, &v)| (j as usize, v))
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.vals[lo..hi])
+            .map(|(&j, &v)| (j as usize, v))
     }
 
     /// `y = x·A` (row vector times matrix), accumulating into `y`, which
@@ -119,7 +132,9 @@ impl Csr {
 
     /// Sum of each row (for a transition matrix these must all be 1).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.n_rows).map(|i| self.row(i).map(|(_, v)| v).sum()).collect()
+        (0..self.n_rows)
+            .map(|i| self.row(i).map(|(_, v)| v).sum())
+            .collect()
     }
 
     /// Expand into a dense matrix (test/diagnostic helper; avoid on large

@@ -13,7 +13,11 @@ pub struct Dense {
 impl Dense {
     /// An all-zero `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Dense { rows, cols, data: vec![0.0; rows * cols] }
+        Dense {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -30,7 +34,11 @@ impl Dense {
         let r = rows.len();
         let c = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
-        Dense { rows: r, cols: c, data: rows.concat() }
+        Dense {
+            rows: r,
+            cols: c,
+            data: rows.concat(),
+        }
     }
 
     /// Number of rows.
@@ -71,7 +79,10 @@ impl Dense {
     /// `y = xᵀ·A` (left multiplication by a row vector).
     pub fn left_mul(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
         if x.len() != self.rows {
-            return Err(LinalgError::DimensionMismatch { expected: self.rows, got: x.len() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows,
+                got: x.len(),
+            });
         }
         let mut y = vec![0.0; self.cols];
         for (i, &xi) in x.iter().enumerate() {
@@ -90,10 +101,16 @@ impl Dense {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.rows;
         if self.cols != n {
-            return Err(LinalgError::DimensionMismatch { expected: n, got: self.cols });
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                got: self.cols,
+            });
         }
         if b.len() != n {
-            return Err(LinalgError::DimensionMismatch { expected: n, got: b.len() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
         }
         let mut a = self.data.clone();
         let mut x: Vec<f64> = b.to_vec();
@@ -208,7 +225,13 @@ mod tests {
     #[test]
     fn dimension_mismatch_reported() {
         let a = Dense::zeros(2, 3);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(LinalgError::DimensionMismatch { .. })));
-        assert!(matches!(a.left_mul(&[1.0]), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            a.left_mul(&[1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 }

@@ -26,7 +26,10 @@ pub struct StationaryOpts {
 
 impl Default for StationaryOpts {
     fn default() -> Self {
-        StationaryOpts { tol: 1e-14, max_iter: 200_000 }
+        StationaryOpts {
+            tol: 1e-14,
+            max_iter: 200_000,
+        }
     }
 }
 
@@ -226,14 +229,15 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
     use crate::Triplets;
-    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
 
-    fn random_stochastic(n: usize, seed_rows: Vec<Vec<f64>>) -> Csr {
+    fn random_stochastic(n: usize, rng: &mut rand::rngs::StdRng) -> Csr {
         let mut t = Triplets::new(n, n);
-        for (i, row) in seed_rows.iter().enumerate() {
+        for i in 0..n {
+            let row: Vec<f64> = (0..n).map(|_| 0.01 + 0.99 * rng.random::<f64>()).collect();
             let sum: f64 = row.iter().sum();
             for (j, &v) in row.iter().enumerate() {
                 t.add(i, j, v / sum);
@@ -242,20 +246,21 @@ mod proptests {
         t.build()
     }
 
-    proptest! {
-        #[test]
-        fn power_agrees_with_dense(rows in proptest::collection::vec(
-            proptest::collection::vec(0.01f64..1.0, 4), 4)
-        ) {
-            let p = random_stochastic(4, rows);
+    /// Deterministic replacement for the former property test: 256 seeded
+    /// random fully-dense stochastic matrices, power vs dense solver.
+    #[test]
+    fn power_agrees_with_dense() {
+        for seed in 0u64..256 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0x57A7 ^ seed);
+            let p = random_stochastic(4, &mut rng);
             let pp = stationary_power(&p, StationaryOpts::default()).unwrap();
             let pd = stationary_dense(&p.to_dense()).unwrap();
             let sum: f64 = pp.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-10);
+            assert!((sum - 1.0).abs() < 1e-10, "seed {seed}: Σπ = {sum}");
             for (a, b) in pp.iter().zip(&pd) {
-                prop_assert!((a - b).abs() < 1e-8, "power {a} vs dense {b}");
+                assert!((a - b).abs() < 1e-8, "seed {seed}: power {a} vs dense {b}");
             }
-            prop_assert!(residual(&p, &pp) < 1e-10);
+            assert!(residual(&p, &pp) < 1e-10, "seed {seed}");
         }
     }
 }

@@ -5,8 +5,8 @@
 //! migrates to the last writer. The owner's copy is `DIRTY` (exclusive)
 //! or `SHARED-DIRTY` (readers hold copies); other nodes are `VALID` or
 //! `INVALID`. Every node's `owner` register tracks the current owner;
-//! the invalidation wave a new owner broadcasts doubles as the ownership
-//! announcement.
+//! the invalidation wave the granting owner broadcasts on an ownership
+//! transfer doubles as the ownership announcement.
 //!
 //! Under read disturbance this is the cheapest of the invalidation
 //! protocols (paper §5.1): the activity center *becomes* the sequencer,
@@ -59,7 +59,11 @@ impl CoherenceProtocol for Berkeley {
             }
             (MsgKind::WReq, SharedDirty) => {
                 env.change();
-                env.push(Dest::AllExcept(env.me(), None), MsgKind::WInv, PayloadKind::Token);
+                env.push(
+                    Dest::AllExcept(env.me(), None),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
                 Dirty
             }
             // Non-owner writes acquire ownership: an upgrade if our copy
@@ -79,16 +83,31 @@ impl CoherenceProtocol for Berkeley {
                 env.push(Dest::To(msg.initiator), MsgKind::RGnt, PayloadKind::Copy);
                 SharedDirty
             }
-            // Owner grants ownership. The grantee's invalidation wave
-            // excludes us, so we invalidate ourselves here and point our
-            // register at the new owner.
+            // Owner grants ownership and broadcasts the invalidation /
+            // ownership-announcement wave itself. The grant is the
+            // protocol's serialization point: sending the wave from here
+            // keeps it FIFO-ordered behind any R-GNT this owner shipped
+            // earlier on the same edges (a wave sent by the *grantee*
+            // travels different edges and can overtake such a grant,
+            // leaving a stale readable copy). The wave excludes the new
+            // owner and us, so we invalidate ourselves in place.
             (MsgKind::WUpg, Dirty | SharedDirty) => {
                 env.push(Dest::To(msg.initiator), MsgKind::WGnt, PayloadKind::Token);
+                env.push(
+                    Dest::AllExcept(msg.initiator, Some(env.me())),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
                 env.set_owner(msg.initiator);
                 Invalid
             }
             (MsgKind::WPer, Dirty | SharedDirty) => {
                 env.push(Dest::To(msg.initiator), MsgKind::WGnt, PayloadKind::Copy);
+                env.push(
+                    Dest::AllExcept(msg.initiator, Some(env.me())),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
                 env.set_owner(msg.initiator);
                 Invalid
             }
@@ -112,20 +131,15 @@ impl CoherenceProtocol for Berkeley {
                 env.enable_local();
                 Valid
             }
-            // Ownership granted: apply the write, announce ourselves with
-            // the invalidation wave (everyone except us and the grantor,
-            // who already updated its register).
+            // Ownership granted: apply the write and take over. The
+            // grantor already broadcast the invalidation wave on our
+            // behalf.
             (MsgKind::WGnt, Invalid | Valid) => {
                 if msg.payload == PayloadKind::Copy {
                     env.install();
                 }
                 env.change();
                 env.set_owner(env.me());
-                env.push(
-                    Dest::AllExcept(env.me(), Some(msg.sender)),
-                    MsgKind::WInv,
-                    PayloadKind::Token,
-                );
                 env.enable_local();
                 Dirty
             }
@@ -164,7 +178,10 @@ mod tests {
     #[test]
     fn owner_write_on_dirty_is_free() {
         let mut env = client_with_owner(0, 0);
-        let s = { let m = app_req(&env, OpKind::Write); Berkeley.step(&mut env, CopyState::Dirty, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            Berkeley.step(&mut env, CopyState::Dirty, &m)
+        };
         assert_eq!(s, CopyState::Dirty);
         assert_eq!(env.cost(S, P), 0);
     }
@@ -172,7 +189,10 @@ mod tests {
     #[test]
     fn owner_write_on_shared_dirty_costs_n() {
         let mut env = client_with_owner(0, 0);
-        let s = { let m = app_req(&env, OpKind::Write); Berkeley.step(&mut env, CopyState::SharedDirty, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            Berkeley.step(&mut env, CopyState::SharedDirty, &m)
+        };
         assert_eq!(s, CopyState::Dirty);
         // Invalidation wave to all N other nodes (no sharer directory).
         assert_eq!(env.cost(S, P), N as u64);
@@ -182,14 +202,21 @@ mod tests {
     fn read_miss_served_by_owner_costs_s_plus_2() {
         // Requester leg: R-PER to the owner (1).
         let mut env = client_with_owner(1, 0);
-        let s = { let m = app_req(&env, OpKind::Read); Berkeley.step(&mut env, CopyState::Invalid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Read);
+            Berkeley.step(&mut env, CopyState::Invalid, &m)
+        };
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(env.pushes[0].dest, Dest::To(NodeId(0)));
         assert_eq!(env.cost(S, P), 1);
 
         // Owner leg: copy shipped, owner → SHARED-DIRTY.
         let mut owner = client_with_owner(0, 0);
-        let s = Berkeley.step(&mut owner, CopyState::Dirty, &net_msg(MsgKind::RPer, 1, 1, PayloadKind::Token));
+        let s = Berkeley.step(
+            &mut owner,
+            CopyState::Dirty,
+            &net_msg(MsgKind::RPer, 1, 1, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::SharedDirty);
         assert_eq!(owner.cost(S, P), S + 1);
     }
@@ -198,46 +225,71 @@ mod tests {
     fn ownership_upgrade_costs_n_plus_1() {
         // Upgrader: W-UPG token to owner (1).
         let mut env = client_with_owner(2, 0);
-        let s = { let m = app_req(&env, OpKind::Write); Berkeley.step(&mut env, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            Berkeley.step(&mut env, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Valid);
         assert_eq!(env.cost(S, P), 1);
 
-        // Old owner: token grant (1), invalidates itself, tracks grantee.
+        // Old owner: token grant (1) plus the N-1 invalidation wave on
+        // behalf of the grantee, invalidates itself, tracks grantee.
         let mut owner = client_with_owner(0, 0);
-        let s = Berkeley.step(&mut owner, CopyState::SharedDirty, &net_msg(MsgKind::WUpg, 2, 2, PayloadKind::Token));
+        let s = Berkeley.step(
+            &mut owner,
+            CopyState::SharedDirty,
+            &net_msg(MsgKind::WUpg, 2, 2, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(owner.owner, NodeId(2));
-        assert_eq!(owner.cost(S, P), 1);
+        assert_eq!(owner.cost(S, P), 1 + (N - 1) as u64);
 
-        // New owner: applies, announces with N-1 invalidations.
+        // New owner: applies and takes over for free (the grantor already
+        // sent the wave).
         let mut env = client_with_owner(2, 0);
-        let s = Berkeley.step(&mut env, CopyState::Valid, &net_msg(MsgKind::WGnt, 2, 0, PayloadKind::Token));
+        let s = Berkeley.step(
+            &mut env,
+            CopyState::Valid,
+            &net_msg(MsgKind::WGnt, 2, 0, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Dirty);
         assert_eq!(env.owner, NodeId(2));
         assert_eq!(env.installs, 0);
-        assert_eq!(env.cost(S, P), (N - 1) as u64);
+        assert_eq!(env.cost(S, P), 0);
         // Total: 1 + 1 + (N-1) = N+1.
     }
 
     #[test]
     fn ownership_acquisition_costs_s_plus_n_plus_1() {
         let mut owner = client_with_owner(0, 0);
-        let s = Berkeley.step(&mut owner, CopyState::Dirty, &net_msg(MsgKind::WPer, 3, 3, PayloadKind::Token));
+        let s = Berkeley.step(
+            &mut owner,
+            CopyState::Dirty,
+            &net_msg(MsgKind::WPer, 3, 3, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
-        assert_eq!(owner.cost(S, P), S + 1);
+        assert_eq!(owner.cost(S, P), S + 1 + (N - 1) as u64);
 
         let mut env = client_with_owner(3, 0);
-        let s = Berkeley.step(&mut env, CopyState::Invalid, &net_msg(MsgKind::WGnt, 3, 0, PayloadKind::Copy));
+        let s = Berkeley.step(
+            &mut env,
+            CopyState::Invalid,
+            &net_msg(MsgKind::WGnt, 3, 0, PayloadKind::Copy),
+        );
         assert_eq!(s, CopyState::Dirty);
         assert_eq!(env.installs, 1);
-        assert_eq!(env.cost(S, P), (N - 1) as u64);
+        assert_eq!(env.cost(S, P), 0);
         // Total: 1 + (S+1) + (N-1) = S+N+1.
     }
 
     #[test]
     fn invalidation_updates_owner_register() {
         let mut env = client_with_owner(1, 0);
-        let s = Berkeley.step(&mut env, CopyState::Valid, &net_msg(MsgKind::WInv, 2, 2, PayloadKind::Token));
+        let s = Berkeley.step(
+            &mut env,
+            CopyState::Valid,
+            &net_msg(MsgKind::WInv, 2, 2, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(env.owner, NodeId(2));
     }
@@ -246,7 +298,11 @@ mod tests {
     fn stale_owner_forwards_requests() {
         // Node 0 lost ownership to node 2; a late R-PER is forwarded.
         let mut env = client_with_owner(0, 2);
-        let s = Berkeley.step(&mut env, CopyState::Invalid, &net_msg(MsgKind::RPer, 1, 1, PayloadKind::Token));
+        let s = Berkeley.step(
+            &mut env,
+            CopyState::Invalid,
+            &net_msg(MsgKind::RPer, 1, 1, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(env.pushes[0].dest, Dest::To(NodeId(2)));
         assert_eq!(env.pushes[0].kind, MsgKind::RPer);

@@ -60,25 +60,97 @@ pub fn input_alphabet() -> Vec<InputSym> {
     use MsgKind::*;
     use PayloadKind::*;
     let mut v = vec![
-        InputSym { kind: RReq, payload: Token, pending: None },
-        InputSym { kind: WReq, payload: Params, pending: None },
-        InputSym { kind: RPer, payload: Token, pending: None },
-        InputSym { kind: WPer, payload: Token, pending: None },
-        InputSym { kind: WPer, payload: Params, pending: None },
-        InputSym { kind: WUpg, payload: Token, pending: None },
-        InputSym { kind: RGnt, payload: Copy, pending: None },
-        InputSym { kind: WGnt, payload: Copy, pending: None },
-        InputSym { kind: WGnt, payload: Token, pending: None },
-        InputSym { kind: WInv, payload: Token, pending: None },
-        InputSym { kind: Upd, payload: Params, pending: None },
-        InputSym { kind: Recall, payload: Token, pending: None },
-        InputSym { kind: RecallX, payload: Token, pending: None },
-        InputSym { kind: Flush, payload: Copy, pending: None },
-        InputSym { kind: FlushX, payload: Copy, pending: None },
-        InputSym { kind: DirtyNote, payload: Token, pending: None },
+        InputSym {
+            kind: RReq,
+            payload: Token,
+            pending: None,
+        },
+        InputSym {
+            kind: WReq,
+            payload: Params,
+            pending: None,
+        },
+        InputSym {
+            kind: RPer,
+            payload: Token,
+            pending: None,
+        },
+        InputSym {
+            kind: WPer,
+            payload: Token,
+            pending: None,
+        },
+        InputSym {
+            kind: WPer,
+            payload: Params,
+            pending: None,
+        },
+        InputSym {
+            kind: WUpg,
+            payload: Token,
+            pending: None,
+        },
+        InputSym {
+            kind: RGnt,
+            payload: Copy,
+            pending: None,
+        },
+        InputSym {
+            kind: WGnt,
+            payload: Copy,
+            pending: None,
+        },
+        InputSym {
+            kind: WGnt,
+            payload: Token,
+            pending: None,
+        },
+        InputSym {
+            kind: WInv,
+            payload: Token,
+            pending: None,
+        },
+        InputSym {
+            kind: Upd,
+            payload: Params,
+            pending: None,
+        },
+        InputSym {
+            kind: Recall,
+            payload: Token,
+            pending: None,
+        },
+        InputSym {
+            kind: RecallX,
+            payload: Token,
+            pending: None,
+        },
+        InputSym {
+            kind: Flush,
+            payload: Copy,
+            pending: None,
+        },
+        InputSym {
+            kind: FlushX,
+            payload: Copy,
+            pending: None,
+        },
+        InputSym {
+            kind: DirtyNote,
+            payload: Token,
+            pending: None,
+        },
     ];
-    v.push(InputSym { kind: Retry, payload: Token, pending: Some(OpKind::Read) });
-    v.push(InputSym { kind: Retry, payload: Token, pending: Some(OpKind::Write) });
+    v.push(InputSym {
+        kind: Retry,
+        payload: Token,
+        pending: Some(OpKind::Read),
+    });
+    v.push(InputSym {
+        kind: Retry,
+        payload: Token,
+        pending: Some(OpKind::Write),
+    });
     v
 }
 
@@ -105,7 +177,10 @@ impl RecordingActions {
             Role::Client => MockActions::client(0, n_clients),
             Role::Sequencer => MockActions::sequencer(n_clients),
         };
-        RecordingActions { inner, log: Vec::new() }
+        RecordingActions {
+            inner,
+            log: Vec::new(),
+        }
     }
 }
 
@@ -137,7 +212,8 @@ impl Actions for RecordingActions {
             Dest::AllExcept(a, None) => format!("except({a})"),
             Dest::AllExcept(a, Some(b)) => format!("except({a},{b})"),
         };
-        self.log.push(format!("push({to}, {}/{presence})", kind.mnemonic()));
+        self.log
+            .push(format!("push({to}, {}/{presence})", kind.mnemonic()));
         self.inner.push(dest, kind, payload);
     }
     fn change(&mut self) {
@@ -181,7 +257,15 @@ pub fn probe(
     // plausible peer (a client for the sequencer's table, the home node
     // for a client's table).
     let (initiator, sender, queue) = if input.kind.is_app_request() {
-        (me, me, if is_seq_node { QueueKind::Distributed } else { QueueKind::Local })
+        (
+            me,
+            me,
+            if is_seq_node {
+                QueueKind::Distributed
+            } else {
+                QueueKind::Local
+            },
+        )
     } else {
         let peer = if is_seq_node { NodeId(1) } else { env.home() };
         let init = if is_seq_node { NodeId(1) } else { me };
@@ -198,8 +282,18 @@ pub fn probe(
     };
     let result = catch_unwind(AssertUnwindSafe(|| protocol.step(&mut env, state, &msg)));
     match result {
-        Ok(next) => TableEntry { state, input, next: Some(next), actions: env.log.join("; ") },
-        Err(_) => TableEntry { state, input, next: None, actions: String::new() },
+        Ok(next) => TableEntry {
+            state,
+            input,
+            next: Some(next),
+            actions: env.log.join("; "),
+        },
+        Err(_) => TableEntry {
+            state,
+            input,
+            next: None,
+            actions: String::new(),
+        },
     }
 }
 
@@ -209,13 +303,25 @@ pub fn probe(
 /// a state live on their own.
 fn live_states(protocol: &dyn CoherenceProtocol, role: Role) -> Vec<CopyState> {
     let app_inputs = [
-        InputSym { kind: MsgKind::RReq, payload: PayloadKind::Token, pending: None },
-        InputSym { kind: MsgKind::WReq, payload: PayloadKind::Params, pending: None },
+        InputSym {
+            kind: MsgKind::RReq,
+            payload: PayloadKind::Token,
+            pending: None,
+        },
+        InputSym {
+            kind: MsgKind::WReq,
+            payload: PayloadKind::Params,
+            pending: None,
+        },
     ];
     ALL_STATES
         .iter()
         .copied()
-        .filter(|&s| app_inputs.iter().any(|&i| probe(protocol, role, s, i).next.is_some()))
+        .filter(|&s| {
+            app_inputs
+                .iter()
+                .any(|&i| probe(protocol, role, s, i).next.is_some())
+        })
         .collect()
 }
 
@@ -244,7 +350,11 @@ pub fn transition_table(protocol: &dyn CoherenceProtocol, role: Role) -> String 
             let e = probe(protocol, role, *state, input);
             match e.next {
                 Some(next) => {
-                    let actions = if e.actions.is_empty() { "—".to_string() } else { e.actions };
+                    let actions = if e.actions.is_empty() {
+                        "—".to_string()
+                    } else {
+                        e.actions
+                    };
                     out.push_str(&format!(
                         "    {:<22} -> {:<13} [{}]\n",
                         input.label(),
@@ -271,38 +381,59 @@ mod tests {
         // Paper Table 1: the client machine has exactly states
         // INVALID/VALID; read hit returns locally; write always goes to
         // the sequencer with parameters and leaves the copy INVALID.
-        let e = probe(&WriteThrough, Role::Client, CopyState::Valid, InputSym {
-            kind: MsgKind::RReq,
-            payload: PayloadKind::Token,
-            pending: None,
-        });
+        let e = probe(
+            &WriteThrough,
+            Role::Client,
+            CopyState::Valid,
+            InputSym {
+                kind: MsgKind::RReq,
+                payload: PayloadKind::Token,
+                pending: None,
+            },
+        );
         assert_eq!(e.next, Some(CopyState::Valid));
         assert_eq!(e.actions, "return");
 
-        let e = probe(&WriteThrough, Role::Client, CopyState::Valid, InputSym {
-            kind: MsgKind::WReq,
-            payload: PayloadKind::Params,
-            pending: None,
-        });
+        let e = probe(
+            &WriteThrough,
+            Role::Client,
+            CopyState::Valid,
+            InputSym {
+                kind: MsgKind::WReq,
+                payload: PayloadKind::Params,
+                pending: None,
+            },
+        );
         assert_eq!(e.next, Some(CopyState::Invalid));
         assert!(e.actions.contains("push(n4, W-PER/w)"));
     }
 
     #[test]
     fn error_entries_are_detected() {
-        let e = probe(&WriteThrough, Role::Client, CopyState::Valid, InputSym {
-            kind: MsgKind::Flush,
-            payload: PayloadKind::Copy,
-            pending: None,
-        });
+        let e = probe(
+            &WriteThrough,
+            Role::Client,
+            CopyState::Valid,
+            InputSym {
+                kind: MsgKind::Flush,
+                payload: PayloadKind::Copy,
+                pending: None,
+            },
+        );
         assert_eq!(e.next, None);
     }
 
     #[test]
     fn live_state_sets_match_paper() {
         // WT: client {I,V}, sequencer {V}.
-        assert_eq!(live_states(&WriteThrough, Role::Client), vec![CopyState::Invalid, CopyState::Valid]);
-        assert_eq!(live_states(&WriteThrough, Role::Sequencer), vec![CopyState::Valid]);
+        assert_eq!(
+            live_states(&WriteThrough, Role::Client),
+            vec![CopyState::Invalid, CopyState::Valid]
+        );
+        assert_eq!(
+            live_states(&WriteThrough, Role::Sequencer),
+            vec![CopyState::Valid]
+        );
         // Synapse client: {I,V,D}.
         let syn = protocol(ProtocolKind::Synapse);
         assert_eq!(
@@ -312,7 +443,10 @@ mod tests {
         // Dragon: single state per role.
         let d = protocol(ProtocolKind::Dragon);
         assert_eq!(live_states(d, Role::Client), vec![CopyState::SharedClean]);
-        assert_eq!(live_states(d, Role::Sequencer), vec![CopyState::SharedDirty]);
+        assert_eq!(
+            live_states(d, Role::Sequencer),
+            vec![CopyState::SharedDirty]
+        );
     }
 
     #[test]

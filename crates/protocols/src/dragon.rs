@@ -62,7 +62,11 @@ impl CoherenceProtocol for Dragon {
             // Sequencer write: apply and broadcast.
             (Role::Sequencer, MsgKind::WReq, SharedDirty) => {
                 env.change();
-                env.push(Dest::AllExcept(env.me(), None), MsgKind::Upd, PayloadKind::Params);
+                env.push(
+                    Dest::AllExcept(env.me(), None),
+                    MsgKind::Upd,
+                    PayloadKind::Params,
+                );
                 SharedDirty
             }
             // Sequencer receiving a client write: apply, re-broadcast to
@@ -99,13 +103,19 @@ mod tests {
     #[test]
     fn reads_are_always_free() {
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Read); Dragon.step(&mut env, CopyState::SharedClean, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Read);
+            Dragon.step(&mut env, CopyState::SharedClean, &m)
+        };
         assert_eq!(s, CopyState::SharedClean);
         assert_eq!(env.returns, 1);
         assert_eq!(env.cost(S, P), 0);
 
         let mut seq = MockActions::sequencer(N);
-        let s = { let m = app_req(&seq, OpKind::Read); Dragon.step(&mut seq, CopyState::SharedDirty, &m) };
+        let s = {
+            let m = app_req(&seq, OpKind::Read);
+            Dragon.step(&mut seq, CopyState::SharedDirty, &m)
+        };
         assert_eq!(s, CopyState::SharedDirty);
         assert_eq!(seq.cost(S, P), 0);
     }
@@ -115,7 +125,10 @@ mod tests {
         // Writer leg: apply locally + one UPD to the sequencer (P+1),
         // no blocking.
         let mut env = MockActions::client(1, N);
-        let s = { let m = app_req(&env, OpKind::Write); Dragon.step(&mut env, CopyState::SharedClean, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            Dragon.step(&mut env, CopyState::SharedClean, &m)
+        };
         assert_eq!(s, CopyState::SharedClean);
         assert_eq!(env.changes, 1);
         assert_eq!(env.disables, 0);
@@ -124,7 +137,11 @@ mod tests {
 
         // Sequencer leg: apply, re-broadcast to N-1 others.
         let mut seq = MockActions::sequencer(N);
-        let s = Dragon.step(&mut seq, CopyState::SharedDirty, &net_msg(MsgKind::Upd, 1, 1, PayloadKind::Params));
+        let s = Dragon.step(
+            &mut seq,
+            CopyState::SharedDirty,
+            &net_msg(MsgKind::Upd, 1, 1, PayloadKind::Params),
+        );
         assert_eq!(s, CopyState::SharedDirty);
         assert_eq!(seq.changes, 1);
         assert_eq!(seq.cost(S, P), (N - 1) as u64 * (P + 1));
@@ -134,7 +151,10 @@ mod tests {
     #[test]
     fn sequencer_write_broadcasts_to_all_clients() {
         let mut seq = MockActions::sequencer(N);
-        let s = { let m = app_req(&seq, OpKind::Write); Dragon.step(&mut seq, CopyState::SharedDirty, &m) };
+        let s = {
+            let m = app_req(&seq, OpKind::Write);
+            Dragon.step(&mut seq, CopyState::SharedDirty, &m)
+        };
         assert_eq!(s, CopyState::SharedDirty);
         assert_eq!(seq.cost(S, P), N as u64 * (P + 1));
     }
@@ -142,7 +162,11 @@ mod tests {
     #[test]
     fn bystanders_apply_updates_silently() {
         let mut env = MockActions::client(3, N);
-        let s = Dragon.step(&mut env, CopyState::SharedClean, &net_msg(MsgKind::Upd, 1, N as u16, PayloadKind::Params));
+        let s = Dragon.step(
+            &mut env,
+            CopyState::SharedClean,
+            &net_msg(MsgKind::Upd, 1, N as u16, PayloadKind::Params),
+        );
         assert_eq!(s, CopyState::SharedClean);
         assert_eq!(env.changes, 1);
         assert!(env.pushes.is_empty());
@@ -152,6 +176,10 @@ mod tests {
     #[should_panic(expected = "protocol error")]
     fn invalidations_never_occur_in_dragon() {
         let mut env = MockActions::client(0, N);
-        Dragon.step(&mut env, CopyState::SharedClean, &net_msg(MsgKind::WInv, 1, N as u16, PayloadKind::Token));
+        Dragon.step(
+            &mut env,
+            CopyState::SharedClean,
+            &net_msg(MsgKind::WInv, 1, N as u16, PayloadKind::Token),
+        );
     }
 }

@@ -60,7 +60,11 @@ impl Firefly {
             }
             (MsgKind::WReq, Valid) => {
                 env.change();
-                env.push(Dest::AllExcept(home, None), MsgKind::Upd, PayloadKind::Params);
+                env.push(
+                    Dest::AllExcept(home, None),
+                    MsgKind::Upd,
+                    PayloadKind::Params,
+                );
                 Valid
             }
             // A client's write: apply, re-broadcast to the other clients,
@@ -110,7 +114,10 @@ mod tests {
     #[test]
     fn reads_are_free() {
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Read); Firefly.step(&mut env, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Read);
+            Firefly.step(&mut env, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Valid);
         assert_eq!(env.returns, 1);
         assert_eq!(env.cost(S, P), 0);
@@ -120,7 +127,10 @@ mod tests {
     fn client_write_costs_n_updates_plus_ack() {
         // Writer leg: UPD to sequencer (P+1), blocked.
         let mut env = MockActions::client(2, N);
-        let s = { let m = app_req(&env, OpKind::Write); Firefly.step(&mut env, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            Firefly.step(&mut env, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Valid);
         assert_eq!(env.disables, 1);
         assert_eq!(env.changes, 0); // pessimistic: not yet applied
@@ -128,7 +138,11 @@ mod tests {
 
         // Sequencer leg: apply, N-1 re-broadcasts, 1 ack.
         let mut seq = MockActions::sequencer(N);
-        let s = Firefly.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::Upd, 2, 2, PayloadKind::Params));
+        let s = Firefly.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::Upd, 2, 2, PayloadKind::Params),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.changes, 1);
         assert_eq!(seq.cost(S, P), (N - 1) as u64 * (P + 1) + 1);
@@ -136,7 +150,11 @@ mod tests {
         // Ack leg: writer applies and unblocks.
         let mut env = MockActions::client(2, N);
         env.pending = Some(OpKind::Write);
-        let s = Firefly.step(&mut env, CopyState::Valid, &net_msg(MsgKind::Ack, 2, N as u16, PayloadKind::Token));
+        let s = Firefly.step(
+            &mut env,
+            CopyState::Valid,
+            &net_msg(MsgKind::Ack, 2, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!((env.changes, env.enables), (1, 1));
         // Total: (P+1) + (N-1)(P+1) + 1 = N(P+1)+1.
@@ -145,7 +163,10 @@ mod tests {
     #[test]
     fn sequencer_write_broadcasts_to_all_clients() {
         let mut seq = MockActions::sequencer(N);
-        let s = { let m = app_req(&seq, OpKind::Write); Firefly.step(&mut seq, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&seq, OpKind::Write);
+            Firefly.step(&mut seq, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.cost(S, P), N as u64 * (P + 1));
     }
@@ -153,7 +174,11 @@ mod tests {
     #[test]
     fn broadcast_updates_apply_silently() {
         let mut env = MockActions::client(1, N);
-        let s = Firefly.step(&mut env, CopyState::Valid, &net_msg(MsgKind::Upd, 2, N as u16, PayloadKind::Params));
+        let s = Firefly.step(
+            &mut env,
+            CopyState::Valid,
+            &net_msg(MsgKind::Upd, 2, N as u16, PayloadKind::Params),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(env.changes, 1);
         assert!(env.pushes.is_empty());

@@ -12,8 +12,8 @@
 //!   `S+N+1` acquisition.
 
 use repmem_core::{
-    protocol_error, Actions, CoherenceProtocol, CopyState, Dest, Msg, MsgKind, OpKind,
-    PayloadKind, ProtocolKind, Role,
+    protocol_error, Actions, CoherenceProtocol, CopyState, Dest, Msg, MsgKind, OpKind, PayloadKind,
+    ProtocolKind, Role,
 };
 
 /// The distributed Illinois protocol.
@@ -55,14 +55,16 @@ impl Illinois {
                 env.enable_local();
                 Valid
             }
-            // Upgrade grant: token only, our copy was already current.
-            (MsgKind::WGnt, Valid) if msg.payload == PayloadKind::Token => {
-                env.change();
-                env.enable_local();
-                Dirty
-            }
+            // A token-only grant answers a W-UPG and carries no data: our
+            // copy was current when the upgrade was issued. If a
+            // concurrent write invalidated it while the W-UPG was in
+            // flight, the whole-object write parameters applied by
+            // `change` still bring the copy current, so the grant
+            // completes from INVALID too.
             (MsgKind::WGnt, Invalid | Valid) => {
-                env.install();
+                if msg.payload == PayloadKind::Copy {
+                    env.install();
+                }
                 env.change();
                 env.enable_local();
                 Dirty
@@ -110,7 +112,11 @@ impl Illinois {
             }
             (MsgKind::WReq, Valid) => {
                 env.change();
-                env.push(Dest::AllExcept(home, None), MsgKind::WInv, PayloadKind::Token);
+                env.push(
+                    Dest::AllExcept(home, None),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
                 env.enable_local();
                 Valid
             }
@@ -241,21 +247,32 @@ mod tests {
     fn upgrade_from_valid_costs_n_plus_1() {
         // Writer: W-UPG (1).
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Write); Illinois.step(&mut env, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            Illinois.step(&mut env, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Valid);
         assert_eq!(env.pushes[0].kind, MsgKind::WUpg);
         assert_eq!(env.cost(S, P), 1);
 
         // Sequencer: N-1 invalidations + token grant, owner tracked.
         let mut seq = MockActions::sequencer(N);
-        let s = Illinois.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::WUpg, 0, 0, PayloadKind::Token));
+        let s = Illinois.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::WUpg, 0, 0, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(seq.owner, NodeId(0));
         assert_eq!(seq.cost(S, P), (N - 1) as u64 + 1);
 
         // Writer completes without data transfer.
         let mut env = MockActions::client(0, N);
-        let s = Illinois.step(&mut env, CopyState::Valid, &net_msg(MsgKind::WGnt, 0, N as u16, PayloadKind::Token));
+        let s = Illinois.step(
+            &mut env,
+            CopyState::Valid,
+            &net_msg(MsgKind::WGnt, 0, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Dirty);
         assert_eq!(env.installs, 0);
         assert_eq!(env.changes, 1);
@@ -265,11 +282,19 @@ mod tests {
     #[test]
     fn acquisition_from_invalid_costs_s_plus_n_plus_1() {
         let mut seq = MockActions::sequencer(N);
-        let s = Illinois.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::WPer, 1, 1, PayloadKind::Token));
+        let s = Illinois.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::WPer, 1, 1, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(seq.cost(S, P), (N - 1) as u64 + S + 1);
         let mut env = MockActions::client(1, N);
-        let s = Illinois.step(&mut env, CopyState::Invalid, &net_msg(MsgKind::WGnt, 1, N as u16, PayloadKind::Copy));
+        let s = Illinois.step(
+            &mut env,
+            CopyState::Invalid,
+            &net_msg(MsgKind::WGnt, 1, N as u16, PayloadKind::Copy),
+        );
         assert_eq!(s, CopyState::Dirty);
         assert_eq!(env.installs, 1);
     }
@@ -279,7 +304,11 @@ mod tests {
         // Sequencer recalls exactly one node — the tracked owner.
         let mut seq = MockActions::sequencer(N);
         seq.owner = NodeId(2);
-        let s = Illinois.step(&mut seq, CopyState::Invalid, &net_msg(MsgKind::RPer, 1, 1, PayloadKind::Token));
+        let s = Illinois.step(
+            &mut seq,
+            CopyState::Invalid,
+            &net_msg(MsgKind::RPer, 1, 1, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Recalling);
         assert_eq!(seq.pushes.len(), 1);
         assert_eq!(seq.pushes[0].dest, Dest::To(NodeId(2)));
@@ -287,13 +316,21 @@ mod tests {
 
         // Owner keeps a VALID copy after a read recall.
         let mut owner = MockActions::client(2, N);
-        let s = Illinois.step(&mut owner, CopyState::Dirty, &net_msg(MsgKind::Recall, 1, N as u16, PayloadKind::Token));
+        let s = Illinois.step(
+            &mut owner,
+            CopyState::Dirty,
+            &net_msg(MsgKind::Recall, 1, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(owner.cost(S, P), S + 1);
 
         // Grant leg.
         let mut seq = MockActions::sequencer(N);
-        let s = Illinois.step(&mut seq, CopyState::Recalling, &net_msg(MsgKind::Flush, 1, 2, PayloadKind::Copy));
+        let s = Illinois.step(
+            &mut seq,
+            CopyState::Recalling,
+            &net_msg(MsgKind::Flush, 1, 2, PayloadKind::Copy),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.cost(S, P), S + 1);
         // Total: 1 (R-PER) + 1 (RECALL) + (S+1) + (S+1) = 2S+4.
@@ -303,16 +340,28 @@ mod tests {
     fn write_miss_on_dirty_transfers_ownership() {
         let mut seq = MockActions::sequencer(N);
         seq.owner = NodeId(0);
-        let s = Illinois.step(&mut seq, CopyState::Invalid, &net_msg(MsgKind::WPer, 3, 3, PayloadKind::Token));
+        let s = Illinois.step(
+            &mut seq,
+            CopyState::Invalid,
+            &net_msg(MsgKind::WPer, 3, 3, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Recalling);
         assert_eq!(seq.pushes[0].kind, MsgKind::RecallX);
 
         let mut owner = MockActions::client(0, N);
-        let s = Illinois.step(&mut owner, CopyState::Dirty, &net_msg(MsgKind::RecallX, 3, N as u16, PayloadKind::Token));
+        let s = Illinois.step(
+            &mut owner,
+            CopyState::Dirty,
+            &net_msg(MsgKind::RecallX, 3, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
 
         let mut seq = MockActions::sequencer(N);
-        let s = Illinois.step(&mut seq, CopyState::Recalling, &net_msg(MsgKind::FlushX, 3, 0, PayloadKind::Copy));
+        let s = Illinois.step(
+            &mut seq,
+            CopyState::Recalling,
+            &net_msg(MsgKind::FlushX, 3, 0, PayloadKind::Copy),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(seq.owner, NodeId(3));
     }
@@ -321,11 +370,19 @@ mod tests {
     fn retry_resends_matching_request() {
         let mut env = MockActions::client(1, N);
         env.pending = Some(OpKind::Write);
-        Illinois.step(&mut env, CopyState::Valid, &net_msg(MsgKind::Retry, 1, N as u16, PayloadKind::Token));
+        Illinois.step(
+            &mut env,
+            CopyState::Valid,
+            &net_msg(MsgKind::Retry, 1, N as u16, PayloadKind::Token),
+        );
         assert_eq!(env.pushes[0].kind, MsgKind::WUpg);
         let mut env = MockActions::client(1, N);
         env.pending = Some(OpKind::Write);
-        Illinois.step(&mut env, CopyState::Invalid, &net_msg(MsgKind::Retry, 1, N as u16, PayloadKind::Token));
+        Illinois.step(
+            &mut env,
+            CopyState::Invalid,
+            &net_msg(MsgKind::Retry, 1, N as u16, PayloadKind::Token),
+        );
         assert_eq!(env.pushes[0].kind, MsgKind::WPer);
     }
 
@@ -333,10 +390,17 @@ mod tests {
     fn sequencer_read_miss_on_dirty_costs_s_plus_2() {
         let mut seq = MockActions::sequencer(N);
         seq.owner = NodeId(1);
-        let s = { let m = app_req(&seq, OpKind::Read); Illinois.step(&mut seq, CopyState::Invalid, &m) };
+        let s = {
+            let m = app_req(&seq, OpKind::Read);
+            Illinois.step(&mut seq, CopyState::Invalid, &m)
+        };
         assert_eq!(s, CopyState::Recalling);
         assert_eq!(seq.cost(S, P), 1);
-        let s = Illinois.step(&mut seq, s, &net_msg(MsgKind::Flush, N as u16, 1, PayloadKind::Copy));
+        let s = Illinois.step(
+            &mut seq,
+            s,
+            &net_msg(MsgKind::Flush, N as u16, 1, PayloadKind::Copy),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.returns, 1);
     }

@@ -15,8 +15,8 @@
 //! recall is in flight are answered with `RETRY`).
 
 use repmem_core::{
-    protocol_error, Actions, CoherenceProtocol, CopyState, Dest, Msg, MsgKind, OpKind,
-    PayloadKind, ProtocolKind, Role,
+    protocol_error, Actions, CoherenceProtocol, CopyState, Dest, Msg, MsgKind, OpKind, PayloadKind,
+    ProtocolKind, Role,
 };
 
 /// The distributed Synapse protocol.
@@ -101,18 +101,30 @@ impl Synapse {
                 Valid
             }
             (MsgKind::RReq, Invalid) => {
-                env.push(Dest::AllExcept(home, None), MsgKind::Recall, PayloadKind::Token);
+                env.push(
+                    Dest::AllExcept(home, None),
+                    MsgKind::Recall,
+                    PayloadKind::Token,
+                );
                 env.disable_local();
                 Recalling
             }
             (MsgKind::WReq, Valid) => {
                 env.change();
-                env.push(Dest::AllExcept(home, None), MsgKind::WInv, PayloadKind::Token);
+                env.push(
+                    Dest::AllExcept(home, None),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
                 env.enable_local();
                 Valid
             }
             (MsgKind::WReq, Invalid) => {
-                env.push(Dest::AllExcept(home, None), MsgKind::RecallX, PayloadKind::Token);
+                env.push(
+                    Dest::AllExcept(home, None),
+                    MsgKind::RecallX,
+                    PayloadKind::Token,
+                );
                 env.disable_local();
                 Recalling
             }
@@ -232,14 +244,21 @@ mod tests {
         // re-fetches even on a write hit.
         for start in [CopyState::Valid, CopyState::Invalid] {
             let mut env = MockActions::client(0, N);
-            let s = { let m = app_req(&env, OpKind::Write); Synapse.step(&mut env, start, &m) };
+            let s = {
+                let m = app_req(&env, OpKind::Write);
+                Synapse.step(&mut env, start, &m)
+            };
             assert_eq!(s, start);
             assert_eq!(env.disables, 1);
             assert_eq!(env.cost(S, P), 1);
         }
         // Sequencer leg: N-1 invalidations + W-GNT with copy.
         let mut seq = MockActions::sequencer(N);
-        let s = Synapse.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::WPer, 0, 0, PayloadKind::Token));
+        let s = Synapse.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::WPer, 0, 0, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(seq.cost(S, P), (N - 1) as u64 + S + 1);
         // Writer completion: free, ends DIRTY.
@@ -257,7 +276,10 @@ mod tests {
     #[test]
     fn dirty_writes_are_free() {
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Write); Synapse.step(&mut env, CopyState::Dirty, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            Synapse.step(&mut env, CopyState::Dirty, &m)
+        };
         assert_eq!(s, CopyState::Dirty);
         assert_eq!(env.changes, 1);
         assert_eq!(env.cost(S, P), 0);
@@ -268,25 +290,41 @@ mod tests {
         // Requester: R-PER (1).
         // Sequencer at INVALID: broadcast recall except home+initiator.
         let mut seq = MockActions::sequencer(N);
-        let s = Synapse.step(&mut seq, CopyState::Invalid, &net_msg(MsgKind::RPer, 1, 1, PayloadKind::Token));
+        let s = Synapse.step(
+            &mut seq,
+            CopyState::Invalid,
+            &net_msg(MsgKind::RPer, 1, 1, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Recalling);
         assert_eq!(seq.cost(S, P), (N - 1) as u64);
 
         // Owner flushes and invalidates itself (Synapse quirk).
         let mut owner = MockActions::client(0, N);
-        let s = Synapse.step(&mut owner, CopyState::Dirty, &net_msg(MsgKind::Recall, 1, N as u16, PayloadKind::Token));
+        let s = Synapse.step(
+            &mut owner,
+            CopyState::Dirty,
+            &net_msg(MsgKind::Recall, 1, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(owner.cost(S, P), S + 1);
 
         // Non-owners ignore the broadcast.
         let mut other = MockActions::client(2, N);
-        let s = Synapse.step(&mut other, CopyState::Invalid, &net_msg(MsgKind::Recall, 1, N as u16, PayloadKind::Token));
+        let s = Synapse.step(
+            &mut other,
+            CopyState::Invalid,
+            &net_msg(MsgKind::Recall, 1, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert!(other.pushes.is_empty());
 
         // Sequencer grants from the flushed copy.
         let mut seq = MockActions::sequencer(N);
-        let s = Synapse.step(&mut seq, CopyState::Recalling, &net_msg(MsgKind::Flush, 1, 0, PayloadKind::Copy));
+        let s = Synapse.step(
+            &mut seq,
+            CopyState::Recalling,
+            &net_msg(MsgKind::Flush, 1, 0, PayloadKind::Copy),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.installs, 1);
         assert_eq!(seq.cost(S, P), S + 1);
@@ -296,14 +334,22 @@ mod tests {
     #[test]
     fn requests_during_recall_get_retry() {
         let mut seq = MockActions::sequencer(N);
-        let s = Synapse.step(&mut seq, CopyState::Recalling, &net_msg(MsgKind::RPer, 2, 2, PayloadKind::Token));
+        let s = Synapse.step(
+            &mut seq,
+            CopyState::Recalling,
+            &net_msg(MsgKind::RPer, 2, 2, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Recalling);
         assert_eq!(seq.pushes[0].kind, MsgKind::Retry);
 
         // The retried client re-issues its request from pending_op.
         let mut env = MockActions::client(2, N);
         env.pending = Some(OpKind::Read);
-        let s = Synapse.step(&mut env, CopyState::Invalid, &net_msg(MsgKind::Retry, 2, N as u16, PayloadKind::Token));
+        let s = Synapse.step(
+            &mut env,
+            CopyState::Invalid,
+            &net_msg(MsgKind::Retry, 2, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(env.pushes[0].kind, MsgKind::RPer);
     }
@@ -311,10 +357,17 @@ mod tests {
     #[test]
     fn sequencer_own_ops_on_dirty_block_recall_it() {
         let mut seq = MockActions::sequencer(N);
-        let s = { let m = app_req(&seq, OpKind::Read); Synapse.step(&mut seq, CopyState::Invalid, &m) };
+        let s = {
+            let m = app_req(&seq, OpKind::Read);
+            Synapse.step(&mut seq, CopyState::Invalid, &m)
+        };
         assert_eq!(s, CopyState::Recalling);
         assert_eq!(seq.cost(S, P), N as u64); // recall to all N clients
-        let s = Synapse.step(&mut seq, s, &net_msg(MsgKind::Flush, N as u16, 0, PayloadKind::Copy));
+        let s = Synapse.step(
+            &mut seq,
+            s,
+            &net_msg(MsgKind::Flush, N as u16, 0, PayloadKind::Copy),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.returns, 1);
     }
@@ -322,7 +375,11 @@ mod tests {
     #[test]
     fn exclusive_recall_invalidates_bystanders() {
         let mut env = MockActions::client(3, N);
-        let s = Synapse.step(&mut env, CopyState::Valid, &net_msg(MsgKind::RecallX, 1, N as u16, PayloadKind::Token));
+        let s = Synapse.step(
+            &mut env,
+            CopyState::Valid,
+            &net_msg(MsgKind::RecallX, 1, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert!(env.pushes.is_empty());
     }
@@ -330,7 +387,11 @@ mod tests {
     #[test]
     fn stale_flush_is_dropped() {
         let mut seq = MockActions::sequencer(N);
-        let s = Synapse.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::Flush, 1, 0, PayloadKind::Copy));
+        let s = Synapse.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::Flush, 1, 0, PayloadKind::Copy),
+        );
         assert_eq!(s, CopyState::Valid);
         assert!(seq.pushes.is_empty());
     }

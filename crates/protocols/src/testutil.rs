@@ -112,7 +112,11 @@ impl Actions for MockActions {
         self.owner = owner;
     }
     fn push(&mut self, dest: Dest, kind: MsgKind, payload: PayloadKind) {
-        self.pushes.push(RecordedPush { dest, kind, payload });
+        self.pushes.push(RecordedPush {
+            dest,
+            kind,
+            payload,
+        });
     }
     fn change(&mut self) {
         self.changes += 1;
@@ -140,11 +144,22 @@ pub fn app_req(env: &MockActions, op: OpKind) -> repmem_core::Msg {
         OpKind::Read => MsgKind::RReq,
         OpKind::Write => MsgKind::WReq,
     };
-    repmem_core::Msg::app_request(kind, env.me, env.me == env.home, repmem_core::ObjectId(0), repmem_core::OpTag(1))
+    repmem_core::Msg::app_request(
+        kind,
+        env.me,
+        env.me == env.home,
+        repmem_core::ObjectId(0),
+        repmem_core::OpTag(1),
+    )
 }
 
 /// Build an inter-node protocol message delivered to `env.me()`.
-pub fn net_msg(kind: MsgKind, initiator: u16, sender: u16, payload: PayloadKind) -> repmem_core::Msg {
+pub fn net_msg(
+    kind: MsgKind,
+    initiator: u16,
+    sender: u16,
+    payload: PayloadKind,
+) -> repmem_core::Msg {
     repmem_core::Msg {
         kind,
         initiator: NodeId(initiator),

@@ -22,8 +22,8 @@
 //! so no flush is needed — the miss costs `S+3` instead of `S+2`).
 
 use repmem_core::{
-    protocol_error, Actions, CoherenceProtocol, CopyState, Dest, Msg, MsgKind, OpKind,
-    PayloadKind, ProtocolKind, Role,
+    protocol_error, Actions, CoherenceProtocol, CopyState, Dest, Msg, MsgKind, OpKind, PayloadKind,
+    ProtocolKind, Role,
 };
 
 /// The distributed Write-Once protocol.
@@ -134,7 +134,11 @@ impl WriteOnce {
             }
             (MsgKind::WReq, Valid) => {
                 env.change();
-                env.push(Dest::AllExcept(home, None), MsgKind::WInv, PayloadKind::Token);
+                env.push(
+                    Dest::AllExcept(home, None),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
                 env.set_owner(home);
                 env.enable_local();
                 Valid
@@ -202,12 +206,14 @@ impl WriteOnce {
             // invalidated by a grant it had not yet seen) is answered
             // with an exclusive recall so its data merges back instead of
             // forking the object.
-            (MsgKind::DirtyNote, Valid) if msg.initiator == env.owner() => {
-                Invalid
-            }
+            (MsgKind::DirtyNote, Valid) if msg.initiator == env.owner() => Invalid,
             (MsgKind::DirtyNote, Valid | Invalid) => {
                 if msg.initiator != env.owner() {
-                    env.push(Dest::To(msg.initiator), MsgKind::RecallX, PayloadKind::Token);
+                    env.push(
+                        Dest::To(msg.initiator),
+                        MsgKind::RecallX,
+                        PayloadKind::Token,
+                    );
                 }
                 state
             }
@@ -253,7 +259,11 @@ impl WriteOnce {
                 env.install();
                 if msg.initiator == home {
                     env.change();
-                    env.push(Dest::AllExcept(home, None), MsgKind::WInv, PayloadKind::Token);
+                    env.push(
+                        Dest::AllExcept(home, None),
+                        MsgKind::WInv,
+                        PayloadKind::Token,
+                    );
                     env.set_owner(home);
                     env.enable_local();
                     Valid
@@ -315,14 +325,21 @@ mod tests {
     #[test]
     fn first_write_writes_through_to_reserved() {
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Write); WriteOnce.step(&mut env, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            WriteOnce.step(&mut env, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Reserved);
         assert_eq!(env.changes, 1);
         assert_eq!(env.disables, 0); // fire-and-forget like Write-Through
         assert_eq!(env.cost(S, P), P + 1);
 
         let mut seq = MockActions::sequencer(N);
-        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::WPer, 0, 0, PayloadKind::Params));
+        let s = WriteOnce.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::WPer, 0, 0, PayloadKind::Params),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.changes, 1);
         assert_eq!(seq.cost(S, P), (N - 1) as u64);
@@ -332,7 +349,10 @@ mod tests {
     #[test]
     fn second_write_sends_one_token_and_goes_dirty() {
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Write); WriteOnce.step(&mut env, CopyState::Reserved, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            WriteOnce.step(&mut env, CopyState::Reserved, &m)
+        };
         assert_eq!(s, CopyState::Dirty);
         assert_eq!(env.cost(S, P), 1);
 
@@ -342,7 +362,11 @@ mod tests {
         // write-through.
         let mut seq = MockActions::sequencer(N);
         seq.owner = NodeId(0);
-        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::DirtyNote, 0, 0, PayloadKind::Token));
+        let s = WriteOnce.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::DirtyNote, 0, 0, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(seq.owner, NodeId(0));
         assert!(seq.pushes.is_empty());
@@ -351,7 +375,11 @@ mod tests {
         // holder is answered with an exclusive recall instead.
         let mut seq = MockActions::sequencer(N);
         seq.owner = NodeId(2);
-        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::DirtyNote, 0, 0, PayloadKind::Token));
+        let s = WriteOnce.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::DirtyNote, 0, 0, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.pushes[0].kind, MsgKind::RecallX);
         assert_eq!(seq.pushes[0].dest, Dest::To(NodeId(0)));
@@ -360,7 +388,10 @@ mod tests {
     #[test]
     fn third_write_is_free() {
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Write); WriteOnce.step(&mut env, CopyState::Dirty, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            WriteOnce.step(&mut env, CopyState::Dirty, &m)
+        };
         assert_eq!(s, CopyState::Dirty);
         assert_eq!(env.cost(S, P), 0);
     }
@@ -369,25 +400,40 @@ mod tests {
     fn write_miss_fetches_then_writes_through() {
         // Miss leg: W-PER token.
         let mut env = MockActions::client(1, N);
-        let s = { let m = app_req(&env, OpKind::Write); WriteOnce.step(&mut env, CopyState::Invalid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            WriteOnce.step(&mut env, CopyState::Invalid, &m)
+        };
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(env.cost(S, P), 1);
 
         // Sequencer: invalidate others, grant copy.
         let mut seq = MockActions::sequencer(N);
-        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::WPer, 1, 1, PayloadKind::Token));
+        let s = WriteOnce.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::WPer, 1, 1, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.cost(S, P), (N - 1) as u64 + S + 1);
 
         // Client: install, apply, write through, end RESERVED.
         let mut env = MockActions::client(1, N);
-        let s = WriteOnce.step(&mut env, CopyState::Invalid, &net_msg(MsgKind::WGnt, 1, N as u16, PayloadKind::Copy));
+        let s = WriteOnce.step(
+            &mut env,
+            CopyState::Invalid,
+            &net_msg(MsgKind::WGnt, 1, N as u16, PayloadKind::Copy),
+        );
         assert_eq!(s, CopyState::Reserved);
         assert_eq!(env.cost(S, P), P + 1);
 
         // Sequencer applies the UPD leg (re-invalidation is harmless).
         let mut seq = MockActions::sequencer(N);
-        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::Upd, 1, 1, PayloadKind::Params));
+        let s = WriteOnce.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::Upd, 1, 1, PayloadKind::Params),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.cost(S, P), (N - 1) as u64);
         // Total: 1 + (N-1) + (S+1) + (P+1) + (N-1) = S+P+2N.
@@ -397,17 +443,29 @@ mod tests {
     fn read_miss_on_dirty_is_targeted_2s_plus_4() {
         let mut seq = MockActions::sequencer(N);
         seq.owner = NodeId(0);
-        let s = WriteOnce.step(&mut seq, CopyState::Invalid, &net_msg(MsgKind::RPer, 2, 2, PayloadKind::Token));
+        let s = WriteOnce.step(
+            &mut seq,
+            CopyState::Invalid,
+            &net_msg(MsgKind::RPer, 2, 2, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Recalling);
         assert_eq!(seq.cost(S, P), 1);
 
         let mut owner = MockActions::client(0, N);
-        let s = WriteOnce.step(&mut owner, CopyState::Dirty, &net_msg(MsgKind::Recall, 2, N as u16, PayloadKind::Token));
+        let s = WriteOnce.step(
+            &mut owner,
+            CopyState::Dirty,
+            &net_msg(MsgKind::Recall, 2, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Valid); // keeps a valid copy after write-back
         assert_eq!(owner.cost(S, P), S + 1);
 
         let mut seq = MockActions::sequencer(N);
-        let s = WriteOnce.step(&mut seq, CopyState::Recalling, &net_msg(MsgKind::Flush, 2, 0, PayloadKind::Copy));
+        let s = WriteOnce.step(
+            &mut seq,
+            CopyState::Recalling,
+            &net_msg(MsgKind::Flush, 2, 0, PayloadKind::Copy),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.cost(S, P), S + 1);
         // Total: 1 + 1 + (S+1) + (S+1) = 2S+4.
@@ -419,7 +477,11 @@ mod tests {
         // grant; owner register cleared.
         let mut seq = MockActions::sequencer(N);
         seq.owner = NodeId(0);
-        let s = WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::RPer, 2, 2, PayloadKind::Token));
+        let s = WriteOnce.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::RPer, 2, 2, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.owner, NodeId(N as u16));
         assert_eq!(seq.pushes[0].kind, MsgKind::Recall);
@@ -428,7 +490,11 @@ mod tests {
 
         // Holder: silent downgrade, no flush (the copy is clean).
         let mut holder = MockActions::client(0, N);
-        let s = WriteOnce.step(&mut holder, CopyState::Reserved, &net_msg(MsgKind::Recall, 2, N as u16, PayloadKind::Token));
+        let s = WriteOnce.step(
+            &mut holder,
+            CopyState::Reserved,
+            &net_msg(MsgKind::Recall, 2, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Valid);
         assert!(holder.pushes.is_empty());
         // Total: 1 (R-PER) + 1 (downgrade) + (S+1) = S+3.
@@ -437,7 +503,11 @@ mod tests {
     #[test]
     fn write_through_records_reserved_holder() {
         let mut seq = MockActions::sequencer(N);
-        WriteOnce.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::WPer, 1, 1, PayloadKind::Params));
+        WriteOnce.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::WPer, 1, 1, PayloadKind::Params),
+        );
         assert_eq!(seq.owner, NodeId(1));
     }
 
@@ -445,7 +515,10 @@ mod tests {
     fn reads_on_owned_states_are_free() {
         for st in [CopyState::Valid, CopyState::Reserved, CopyState::Dirty] {
             let mut env = MockActions::client(0, N);
-            let s = { let m = app_req(&env, OpKind::Read); WriteOnce.step(&mut env, st, &m) };
+            let s = {
+                let m = app_req(&env, OpKind::Read);
+                WriteOnce.step(&mut env, st, &m)
+            };
             assert_eq!(s, st);
             assert_eq!(env.cost(S, P), 0);
         }
@@ -453,9 +526,18 @@ mod tests {
 
     #[test]
     fn invalidation_covers_reserved_and_dirty() {
-        for st in [CopyState::Valid, CopyState::Reserved, CopyState::Dirty, CopyState::Invalid] {
+        for st in [
+            CopyState::Valid,
+            CopyState::Reserved,
+            CopyState::Dirty,
+            CopyState::Invalid,
+        ] {
             let mut env = MockActions::client(3, N);
-            let s = WriteOnce.step(&mut env, st, &net_msg(MsgKind::WInv, 0, N as u16, PayloadKind::Token));
+            let s = WriteOnce.step(
+                &mut env,
+                st,
+                &net_msg(MsgKind::WInv, 0, N as u16, PayloadKind::Token),
+            );
             assert_eq!(s, CopyState::Invalid);
         }
     }

@@ -74,7 +74,11 @@ impl WriteThrough {
             // Routine 102: own write — update, invalidate all N clients.
             (MsgKind::WReq, Valid) => {
                 env.change();
-                env.push(Dest::AllExcept(home, None), MsgKind::WInv, PayloadKind::Token);
+                env.push(
+                    Dest::AllExcept(home, None),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
                 Valid
             }
             // Routine 103: grant a read with the user information.
@@ -131,13 +135,19 @@ mod tests {
     #[test]
     fn initial_states_match_paper() {
         assert_eq!(WriteThrough.initial_state(Role::Client), CopyState::Invalid);
-        assert_eq!(WriteThrough.initial_state(Role::Sequencer), CopyState::Valid);
+        assert_eq!(
+            WriteThrough.initial_state(Role::Sequencer),
+            CopyState::Valid
+        );
     }
 
     #[test]
     fn trace_tr1_read_hit_is_free() {
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Read); WriteThrough.step(&mut env, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Read);
+            WriteThrough.step(&mut env, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Valid);
         assert_eq!(env.returns, 1);
         assert_eq!(env.cost(S, P), 0);
@@ -147,15 +157,21 @@ mod tests {
     fn trace_tr2_read_miss_costs_s_plus_2() {
         // Client leg: R-PER (1 unit) and the local queue is disabled.
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Read); WriteThrough.step(&mut env, CopyState::Invalid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Read);
+            WriteThrough.step(&mut env, CopyState::Invalid, &m)
+        };
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(env.disables, 1);
         assert_eq!(env.cost(S, P), 1);
 
         // Sequencer leg: R-GNT with copy (S+1 units).
         let mut seq = MockActions::sequencer(N);
-        let s =
-            WriteThrough.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::RPer, 0, 0, PayloadKind::Token));
+        let s = WriteThrough.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::RPer, 0, 0, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.cost(S, P), S + 1);
 
@@ -177,7 +193,10 @@ mod tests {
             // Writer leg: W-PER with params (P+1), copy goes INVALID,
             // no blocking (fire-and-forget).
             let mut env = MockActions::client(2, N);
-            let s = { let m = app_req(&env, OpKind::Write); WriteThrough.step(&mut env, start, &m) };
+            let s = {
+                let m = app_req(&env, OpKind::Write);
+                WriteThrough.step(&mut env, start, &m)
+            };
             assert_eq!(s, CopyState::Invalid);
             assert_eq!(env.disables, 0);
             assert_eq!(env.cost(S, P), P + 1);
@@ -199,7 +218,10 @@ mod tests {
     #[test]
     fn trace_tr5_sequencer_read_is_free() {
         let mut seq = MockActions::sequencer(N);
-        let s = { let m = app_req(&seq, OpKind::Read); WriteThrough.step(&mut seq, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&seq, OpKind::Read);
+            WriteThrough.step(&mut seq, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.returns, 1);
         assert_eq!(seq.cost(S, P), 0);
@@ -208,7 +230,10 @@ mod tests {
     #[test]
     fn trace_tr6_sequencer_write_costs_n() {
         let mut seq = MockActions::sequencer(N);
-        let s = { let m = app_req(&seq, OpKind::Write); WriteThrough.step(&mut seq, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&seq, OpKind::Write);
+            WriteThrough.step(&mut seq, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.changes, 1);
         assert_eq!(seq.cost(S, P), N as u64);
@@ -218,8 +243,11 @@ mod tests {
     fn invalidation_always_invalidates() {
         for start in [CopyState::Valid, CopyState::Invalid] {
             let mut env = MockActions::client(1, N);
-            let s =
-                WriteThrough.step(&mut env, start, &net_msg(MsgKind::WInv, 3, N as u16, PayloadKind::Token));
+            let s = WriteThrough.step(
+                &mut env,
+                start,
+                &net_msg(MsgKind::WInv, 3, N as u16, PayloadKind::Token),
+            );
             assert_eq!(s, CopyState::Invalid);
             assert_eq!(env.cost(S, P), 0);
         }
@@ -229,6 +257,10 @@ mod tests {
     #[should_panic(expected = "protocol error")]
     fn unexpected_token_is_an_error() {
         let mut env = MockActions::client(0, N);
-        WriteThrough.step(&mut env, CopyState::Valid, &net_msg(MsgKind::Flush, 1, 1, PayloadKind::Copy));
+        WriteThrough.step(
+            &mut env,
+            CopyState::Valid,
+            &net_msg(MsgKind::Flush, 1, 1, PayloadKind::Copy),
+        );
     }
 }

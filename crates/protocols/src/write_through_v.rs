@@ -16,9 +16,16 @@
 //! Total write cost `P+N+2` — this is what makes the paper's ideal-workload
 //! cost `p(P+N+2)` and places the WT/WT-V crossover at
 //! `p = (1−aσ)·S/(S+2)` (§5.1).
+//!
+//! The grant is the protocol's *sequencing point*: the sequencer keeps at
+//! most one granted write outstanding (state `RECALLING` between the
+//! `W-GNT` and the matching `UPD`) and retries any other write
+//! permission that arrives in between. Without this, two concurrent
+//! writers can both end up `VALID` while each one's invalidation wave
+//! excludes the other, leaving a stale readable copy behind.
 
 use repmem_core::{
-    protocol_error, Actions, CoherenceProtocol, CopyState, Dest, Msg, MsgKind, PayloadKind,
+    protocol_error, Actions, CoherenceProtocol, CopyState, Dest, Msg, MsgKind, OpKind, PayloadKind,
     ProtocolKind, Role,
 };
 
@@ -61,6 +68,17 @@ impl WriteThroughV {
                 Valid
             }
             (MsgKind::WInv, _) => Invalid,
+            // The sequencer deferred us while another write was being
+            // sequenced: resend the matching permission request.
+            (MsgKind::Retry, _) => {
+                let kind = match env.pending_op() {
+                    Some(OpKind::Read) => MsgKind::RPer,
+                    Some(OpKind::Write) => MsgKind::WPer,
+                    None => protocol_error(self.kind(), state, msg),
+                };
+                env.push(Dest::To(env.home()), kind, PayloadKind::Token);
+                state
+            }
             _ => protocol_error(self.kind(), state, msg),
         }
     }
@@ -69,27 +87,46 @@ impl WriteThroughV {
         use CopyState::*;
         let home = env.home();
         match (msg.kind, state) {
-            (MsgKind::RReq, Valid) => {
+            (MsgKind::RReq, Valid | Recalling) => {
                 env.ret();
-                Valid
+                state
             }
             (MsgKind::WReq, Valid) => {
                 env.change();
-                env.push(Dest::AllExcept(home, None), MsgKind::WInv, PayloadKind::Token);
+                env.push(
+                    Dest::AllExcept(home, None),
+                    MsgKind::WInv,
+                    PayloadKind::Token,
+                );
                 Valid
             }
-            (MsgKind::RPer, Valid) => {
+            // The sequencer's own write while a granted client write is
+            // outstanding: requeue it behind the pending UPD.
+            (MsgKind::WReq, Recalling) => {
+                env.push(Dest::To(home), MsgKind::Retry, PayloadKind::Token);
+                env.disable_local();
+                Recalling
+            }
+            // Reads may be granted while a write is being sequenced: the
+            // reader is covered by the write's later invalidation wave.
+            (MsgKind::RPer, Valid | Recalling) => {
                 env.push(Dest::To(msg.initiator), MsgKind::RGnt, PayloadKind::Copy);
-                Valid
+                state
             }
-            // Sequencing grant for a client write.
+            // Sequencing grant for a client write; RECALLING marks the
+            // grant as outstanding until its UPD arrives.
             (MsgKind::WPer, Valid) => {
                 env.push(Dest::To(msg.initiator), MsgKind::WGnt, PayloadKind::Token);
-                Valid
+                Recalling
+            }
+            // One sequenced write at a time: defer concurrent writers.
+            (MsgKind::WPer, Recalling) => {
+                env.push(Dest::To(msg.initiator), MsgKind::Retry, PayloadKind::Token);
+                Recalling
             }
             // The granted writer's parameters: apply and invalidate the
             // other N-1 clients (the writer keeps its valid copy).
-            (MsgKind::Upd, Valid) => {
+            (MsgKind::Upd, Recalling) => {
                 env.change();
                 env.push(
                     Dest::AllExcept(msg.initiator, Some(home)),
@@ -97,6 +134,19 @@ impl WriteThroughV {
                     PayloadKind::Token,
                 );
                 Valid
+            }
+            // The sequencer's own deferred write resurfacing.
+            (MsgKind::Retry, _) => {
+                match env.pending_op() {
+                    Some(OpKind::Write) => {
+                        env.push(Dest::To(home), MsgKind::WReq, PayloadKind::Params)
+                    }
+                    Some(OpKind::Read) => {
+                        env.push(Dest::To(home), MsgKind::RReq, PayloadKind::Token)
+                    }
+                    None => protocol_error(self.kind(), state, msg),
+                }
+                state
             }
             _ => protocol_error(self.kind(), state, msg),
         }
@@ -137,19 +187,23 @@ mod tests {
     fn write_keeps_copy_valid_and_costs_p_plus_n_plus_2() {
         // Leg 1: W-PER token, blocked.
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Write); WriteThroughV.step(&mut env, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Write);
+            WriteThroughV.step(&mut env, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Valid);
         assert_eq!(env.disables, 1);
         assert_eq!(env.cost(S, P), 1);
 
-        // Leg 2: sequencer grants (1 unit).
+        // Leg 2: sequencer grants (1 unit) and marks the write as the
+        // one being sequenced.
         let mut seq = MockActions::sequencer(N);
         let s = WriteThroughV.step(
             &mut seq,
             CopyState::Valid,
             &net_msg(MsgKind::WPer, 0, 0, PayloadKind::Token),
         );
-        assert_eq!(s, CopyState::Valid);
+        assert_eq!(s, CopyState::Recalling);
         assert_eq!(seq.cost(S, P), 1);
 
         // Leg 3: writer applies locally, ships params (P+1), re-enables,
@@ -169,13 +223,37 @@ mod tests {
         let mut seq = MockActions::sequencer(N);
         let s = WriteThroughV.step(
             &mut seq,
-            CopyState::Valid,
+            CopyState::Recalling,
             &net_msg(MsgKind::Upd, 0, 0, PayloadKind::Params),
         );
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.changes, 1);
         assert_eq!(seq.cost(S, P), (N - 1) as u64);
         // Total: 1 + 1 + (P+1) + (N-1) = P+N+2.
+    }
+
+    #[test]
+    fn concurrent_write_permission_is_deferred() {
+        // A second W-PER while a granted write's UPD is outstanding gets
+        // a RETRY, not a second grant.
+        let mut seq = MockActions::sequencer(N);
+        let s = WriteThroughV.step(
+            &mut seq,
+            CopyState::Recalling,
+            &net_msg(MsgKind::WPer, 2, 2, PayloadKind::Token),
+        );
+        assert_eq!(s, CopyState::Recalling);
+        assert_eq!(seq.pushes[0].kind, MsgKind::Retry);
+
+        // The deferred writer resends its permission request.
+        let mut env = MockActions::client(2, N);
+        env.pending = Some(OpKind::Write);
+        WriteThroughV.step(
+            &mut env,
+            CopyState::Valid,
+            &net_msg(MsgKind::Retry, 2, N as u16, PayloadKind::Token),
+        );
+        assert_eq!(env.pushes[0].kind, MsgKind::WPer);
     }
 
     #[test]
@@ -193,21 +271,34 @@ mod tests {
     #[test]
     fn read_paths_match_write_through() {
         let mut env = MockActions::client(0, N);
-        let s = { let m = app_req(&env, OpKind::Read); WriteThroughV.step(&mut env, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&env, OpKind::Read);
+            WriteThroughV.step(&mut env, CopyState::Valid, &m)
+        };
         assert_eq!((s, env.returns), (CopyState::Valid, 1));
 
         let mut env = MockActions::client(0, N);
-        { let m = app_req(&env, OpKind::Read); WriteThroughV.step(&mut env, CopyState::Invalid, &m) };
+        {
+            let m = app_req(&env, OpKind::Read);
+            WriteThroughV.step(&mut env, CopyState::Invalid, &m)
+        };
         assert_eq!(env.cost(S, P), 1);
         let mut seq = MockActions::sequencer(N);
-        WriteThroughV.step(&mut seq, CopyState::Valid, &net_msg(MsgKind::RPer, 0, 0, PayloadKind::Token));
+        WriteThroughV.step(
+            &mut seq,
+            CopyState::Valid,
+            &net_msg(MsgKind::RPer, 0, 0, PayloadKind::Token),
+        );
         assert_eq!(seq.cost(S, P), S + 1);
     }
 
     #[test]
     fn sequencer_write_invalidates_all_clients() {
         let mut seq = MockActions::sequencer(N);
-        let s = { let m = app_req(&seq, OpKind::Write); WriteThroughV.step(&mut seq, CopyState::Valid, &m) };
+        let s = {
+            let m = app_req(&seq, OpKind::Write);
+            WriteThroughV.step(&mut seq, CopyState::Valid, &m)
+        };
         assert_eq!(s, CopyState::Valid);
         assert_eq!(seq.cost(S, P), N as u64);
     }
@@ -225,7 +316,11 @@ mod tests {
             &net_msg(MsgKind::WInv, 3, N as u16, PayloadKind::Token),
         );
         assert_eq!(s, CopyState::Invalid);
-        let s = WriteThroughV.step(&mut env, s, &net_msg(MsgKind::WGnt, 2, N as u16, PayloadKind::Token));
+        let s = WriteThroughV.step(
+            &mut env,
+            s,
+            &net_msg(MsgKind::WGnt, 2, N as u16, PayloadKind::Token),
+        );
         assert_eq!(s, CopyState::Valid);
     }
 }

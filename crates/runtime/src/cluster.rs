@@ -1,14 +1,15 @@
 //! The node threads, channels and the blocking application API.
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use repmem_core::{
     Actions, CopyState, Dest, Msg, MsgKind, NodeId, ObjectId, OpKind, OpTag, PayloadKind,
     ProtocolKind, QueueKind, Role, SystemParams,
 };
 use repmem_protocols::protocol;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -27,8 +28,15 @@ struct Envelope {
     copy: Option<Copy>,
 }
 
+/// Everything a node thread can receive on its single merged inbox.
+///
+/// Merging the distributed and local queues into one FIFO channel keeps
+/// the node loop on `std::sync::mpsc` (no `select!` needed): local
+/// requests that arrive while an operation is in flight are parked in a
+/// backlog and started as soon as the node is free again.
 enum Wire {
     Net(Envelope),
+    Local(AppReq, OpTag),
     Stop,
 }
 
@@ -37,7 +45,7 @@ struct AppReq {
     op: OpKind,
     object: ObjectId,
     data: Option<Bytes>,
-    reply: Sender<Bytes>,
+    reply: SyncSender<Bytes>,
 }
 
 /// Per-(node, object) protocol-process state.
@@ -53,7 +61,7 @@ struct PendingApp {
     object: ObjectId,
     tag: OpTag,
     data: Option<Copy>,
-    reply: Sender<Bytes>,
+    reply: SyncSender<Bytes>,
     /// `true` once the protocol requires a response before completion.
     blocked: bool,
 }
@@ -67,6 +75,7 @@ struct NodeCtx {
     pending: Option<PendingApp>,
     cost: Arc<AtomicU64>,
     messages: Arc<AtomicU64>,
+    versions: Arc<AtomicU64>,
 }
 
 struct NodeHost<'a> {
@@ -78,6 +87,7 @@ struct NodeHost<'a> {
     env: &'a Envelope,
     cost: &'a AtomicU64,
     messages: &'a AtomicU64,
+    versions: &'a AtomicU64,
     /// Set when `ret` fires (read completion).
     returned: &'a mut bool,
     /// Set when `enable_local` fires (blocked-write completion).
@@ -85,13 +95,26 @@ struct NodeHost<'a> {
 }
 
 impl NodeHost<'_> {
-    fn context_params(&self) -> Copy {
+    /// The write parameters in scope for the current step: either carried
+    /// by the envelope or, at the initiator, the pending operation's data.
+    ///
+    /// Versions are stamped *here*, at the first materialization of the
+    /// parameters (i.e. when the write is applied or shipped), from a
+    /// cluster-global counter. Stamping at request time instead would let
+    /// the version order disagree with the protocol's serialization order
+    /// (a later-granted write could carry an earlier tag), and the
+    /// last-writer-wins merge in `change`/`install` would then discard
+    /// the write the sequencing point committed last.
+    fn context_params(&mut self) -> Copy {
         if let Some(p) = &self.env.params {
             return p.clone();
         }
         if self.env.msg.initiator == self.me {
-            if let Some(p) = self.pending.as_ref().and_then(|p| p.data.clone()) {
-                return p;
+            if let Some(p) = self.pending.as_mut().and_then(|p| p.data.as_mut()) {
+                if p.version == 0 {
+                    p.version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
+                }
+                return p.clone();
             }
         }
         panic!(
@@ -135,7 +158,8 @@ impl Actions for NodeHost<'_> {
         };
         for r in receivers {
             if r != self.me {
-                self.cost.fetch_add(self.sys.msg_cost(payload), Ordering::Relaxed);
+                self.cost
+                    .fetch_add(self.sys.msg_cost(payload), Ordering::Relaxed);
                 self.messages.fetch_add(1, Ordering::Relaxed);
             }
             let msg = Msg {
@@ -147,7 +171,11 @@ impl Actions for NodeHost<'_> {
                 payload,
                 op: self.env.msg.op,
             };
-            let env = Envelope { msg, params: params.clone(), copy: copy.clone() };
+            let env = Envelope {
+                msg,
+                params: params.clone(),
+                copy: copy.clone(),
+            };
             // A dropped peer only happens during shutdown.
             let _ = self.peers[r.idx()].send(Wire::Net(env));
         }
@@ -202,6 +230,7 @@ impl NodeCtx {
                 env,
                 cost: &self.cost,
                 messages: &self.messages,
+                versions: &self.versions,
                 returned: &mut returned,
                 enabled: &mut enabled,
             };
@@ -217,7 +246,9 @@ impl NodeCtx {
     }
 
     fn complete_if_done(&mut self, returned: bool, enabled: bool, tag: OpTag) {
-        let Some(p) = self.pending.as_ref() else { return };
+        let Some(p) = self.pending.as_ref() else {
+            return;
+        };
         if p.tag != tag {
             return;
         }
@@ -233,23 +264,36 @@ impl NodeCtx {
     }
 
     fn handle_app(&mut self, req: AppReq, tag: OpTag) {
-        assert!(self.pending.is_none(), "node {}: one operation at a time", self.me);
+        assert!(
+            self.pending.is_none(),
+            "node {}: one operation at a time",
+            self.me
+        );
         let is_home = self.me == self.sys.home();
         let kind = match req.op {
             OpKind::Read => MsgKind::RReq,
             OpKind::Write => MsgKind::WReq,
         };
         let msg = Msg::app_request(kind, self.me, is_home, req.object, tag);
-        let data = req.data.map(|d| Copy { data: d, version: tag.0 + 1 });
+        // Version 0 is the "unstamped" placeholder; the real version is
+        // assigned by `context_params` when the write first materializes.
+        let data = req.data.map(|d| Copy {
+            data: d,
+            version: 0,
+        });
         self.pending = Some(PendingApp {
             op: req.op,
             object: req.object,
             tag,
-            data: data.clone(),
+            data,
             reply: req.reply,
             blocked: false,
         });
-        let env = Envelope { msg, params: data, copy: None };
+        let env = Envelope {
+            msg,
+            params: None,
+            copy: None,
+        };
         let (returned, enabled) = self.step(&env);
         self.complete_if_done(returned, enabled, tag);
     }
@@ -258,8 +302,7 @@ impl NodeCtx {
 /// A running DSM cluster of `N+1` node threads.
 pub struct Cluster {
     sys: SystemParams,
-    local_txs: Vec<Sender<(AppReq, OpTag)>>,
-    dist_txs: Vec<Sender<Wire>>,
+    txs: Vec<Sender<Wire>>,
     threads: Vec<JoinHandle<Vec<(CopyState, Bytes, u64)>>>,
     cost: Arc<AtomicU64>,
     messages: Arc<AtomicU64>,
@@ -295,7 +338,7 @@ impl ClusterDump {
 #[derive(Clone)]
 pub struct Handle {
     node: NodeId,
-    local_tx: Sender<(AppReq, OpTag)>,
+    tx: Sender<Wire>,
     next_tag: Arc<AtomicU64>,
 }
 
@@ -313,12 +356,22 @@ impl Handle {
     }
 
     fn request(&self, op: OpKind, object: ObjectId, data: Option<Bytes>) -> Bytes {
-        let (reply_tx, reply_rx) = bounded(1);
+        let (reply_tx, reply_rx) = sync_channel(1);
         let tag = OpTag(self.next_tag.fetch_add(1, Ordering::Relaxed));
-        self.local_tx
-            .send((AppReq { op, object, data, reply: reply_tx }, tag))
+        self.tx
+            .send(Wire::Local(
+                AppReq {
+                    op,
+                    object,
+                    data,
+                    reply: reply_tx,
+                },
+                tag,
+            ))
             .unwrap_or_else(|_| panic!("node {} is shut down", self.node));
-        reply_rx.recv().unwrap_or_else(|_| panic!("node {} dropped a request", self.node))
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| panic!("node {} dropped a request", self.node))
     }
 }
 
@@ -328,40 +381,46 @@ impl Cluster {
         let n = sys.n_nodes();
         let cost = Arc::new(AtomicU64::new(0));
         let messages = Arc::new(AtomicU64::new(0));
-        let mut dist_txs = Vec::with_capacity(n);
-        let mut dist_rxs = Vec::with_capacity(n);
+        let versions = Arc::new(AtomicU64::new(0));
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<Wire>();
-            dist_txs.push(tx);
-            dist_rxs.push(rx);
+            let (tx, rx) = channel::<Wire>();
+            txs.push(tx);
+            rxs.push(rx);
         }
-        let mut local_txs = Vec::with_capacity(n);
         let mut threads = Vec::with_capacity(n);
         let proto = protocol(kind);
-        for (i, dist_rx) in dist_rxs.into_iter().enumerate() {
+        for (i, rx) in rxs.into_iter().enumerate() {
             let me = NodeId(i as u16);
-            let (local_tx, local_rx) = unbounded::<(AppReq, OpTag)>();
-            local_txs.push(local_tx);
-            let role = if me == sys.home() { Role::Sequencer } else { Role::Client };
+            let role = if me == sys.home() {
+                Role::Sequencer
+            } else {
+                Role::Client
+            };
             let procs: Vec<Proc> = (0..sys.m_objects)
                 .map(|_| Proc {
                     state: proto.initial_state(role),
                     owner: sys.home(),
-                    copy: Copy { data: Bytes::new(), version: 0 },
+                    copy: Copy {
+                        data: Bytes::new(),
+                        version: 0,
+                    },
                 })
                 .collect();
             let mut ctx = NodeCtx {
                 me,
                 sys,
                 kind,
-                peers: dist_txs.clone(),
+                peers: txs.clone(),
                 procs,
                 pending: None,
                 cost: Arc::clone(&cost),
                 messages: Arc::clone(&messages),
+                versions: Arc::clone(&versions),
             };
             threads.push(std::thread::spawn(move || {
-                node_loop(&mut ctx, dist_rx, local_rx);
+                node_loop(&mut ctx, rx);
                 ctx.procs
                     .into_iter()
                     .map(|p| (p.state, p.copy.data, p.copy.version))
@@ -370,8 +429,7 @@ impl Cluster {
         }
         Cluster {
             sys,
-            local_txs,
-            dist_txs,
+            txs,
             threads,
             cost,
             messages,
@@ -385,7 +443,7 @@ impl Cluster {
         assert!(node.idx() < self.sys.n_nodes(), "no such node");
         Handle {
             node,
-            local_tx: self.local_txs[node.idx()].clone(),
+            tx: self.txs[node.idx()].clone(),
             next_tag: Arc::clone(&self.next_tag),
         }
     }
@@ -409,7 +467,7 @@ impl Cluster {
     pub fn shutdown(mut self) -> ClusterDump {
         // Give in-flight fire-and-forget cascades a moment to drain: the
         // channels are FIFO, so a Stop behind them is processed last.
-        for tx in &self.dist_txs {
+        for tx in &self.txs {
             let _ = tx.send(Wire::Stop);
         }
         let copies: Vec<_> = self
@@ -423,40 +481,34 @@ impl Cluster {
     }
 }
 
-fn node_loop(
-    ctx: &mut NodeCtx,
-    dist_rx: Receiver<Wire>,
-    local_rx: Receiver<(AppReq, OpTag)>,
-) {
-    let mut local_open = true;
+fn node_loop(ctx: &mut NodeCtx, rx: Receiver<Wire>) {
+    // Local requests waiting to start, in arrival order. A node runs one
+    // application operation at a time; the backlog preserves that
+    // invariant without a second channel.
+    let mut backlog: VecDeque<(AppReq, OpTag)> = VecDeque::new();
     loop {
-        // Distributed messages take priority (global sequencing).
-        match dist_rx.try_recv() {
-            Ok(Wire::Net(env)) => {
-                ctx.handle_env(env);
+        // Distributed messages take priority (global sequencing): drain
+        // everything already queued before starting a local request.
+        loop {
+            match rx.try_recv() {
+                Ok(Wire::Net(env)) => ctx.handle_env(env),
+                Ok(Wire::Local(req, tag)) => backlog.push_back((req, tag)),
+                Ok(Wire::Stop) => return,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        // Start the next local request only when none is in flight.
+        if ctx.pending.is_none() {
+            if let Some((req, tag)) = backlog.pop_front() {
+                ctx.handle_app(req, tag);
                 continue;
             }
-            Ok(Wire::Stop) => return,
-            Err(TryRecvError::Empty) => {}
-            Err(TryRecvError::Disconnected) => return,
         }
-        // Accept a local request only when none is in flight.
-        if ctx.pending.is_none() && local_open {
-            crossbeam::channel::select! {
-                recv(dist_rx) -> w => match w {
-                    Ok(Wire::Net(env)) => ctx.handle_env(env),
-                    Ok(Wire::Stop) | Err(_) => return,
-                },
-                recv(local_rx) -> r => match r {
-                    Ok((req, tag)) => ctx.handle_app(req, tag),
-                    Err(_) => local_open = false,
-                },
-            }
-        } else {
-            match dist_rx.recv() {
-                Ok(Wire::Net(env)) => ctx.handle_env(env),
-                Ok(Wire::Stop) | Err(_) => return,
-            }
+        match rx.recv() {
+            Ok(Wire::Net(env)) => ctx.handle_env(env),
+            Ok(Wire::Local(req, tag)) => backlog.push_back((req, tag)),
+            Ok(Wire::Stop) | Err(_) => return,
         }
     }
 }
@@ -466,7 +518,12 @@ mod tests {
     use super::*;
 
     fn sys() -> SystemParams {
-        SystemParams { n_clients: 4, s: 64, p: 16, m_objects: 4 }
+        SystemParams {
+            n_clients: 4,
+            s: 64,
+            p: 16,
+            m_objects: 4,
+        }
     }
 
     #[test]
@@ -513,7 +570,7 @@ mod tests {
         let cluster = Cluster::new(sys, ProtocolKind::WriteThrough);
         let h = cluster.handle(NodeId(0));
         h.write(ObjectId(0), Bytes::from_static(b"x")); // P+N
-        // Wait for the invalidation wave to drain before reading.
+                                                        // Wait for the invalidation wave to drain before reading.
         std::thread::sleep(std::time::Duration::from_millis(20));
         let base = cluster.total_cost();
         assert_eq!(base, sys.p + sys.n_clients as u64);
@@ -537,7 +594,7 @@ mod tests {
                     std::thread::spawn(move || {
                         for round in 0..25u64 {
                             let obj = ObjectId(((i as u64 + round) % 4) as u32);
-                            if (round + i as u64) % 3 == 0 {
+                            if (round + i as u64).is_multiple_of(3) {
                                 h.write(obj, Bytes::from(round.to_le_bytes().to_vec()));
                             } else {
                                 let _ = h.read(obj);

@@ -1,0 +1,336 @@
+//! Offline stand-in for the subset of the Criterion API this workspace's
+//! benches use. It keeps every bench target compiling and runnable with
+//! no external dependencies: each benchmark is timed with plain
+//! wall-clock sampling (warm-up, then `sample_size` samples, median
+//! reported). There is no outlier analysis, no HTML report and no
+//! statistical regression testing — for those, point the `criterion`
+//! workspace dependency back at crates.io.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming the benchmark up before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// CLI compatibility no-op (the shim takes no arguments).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            id,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Finalize (report writing in real Criterion; a no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Throughput annotation (mirror of `criterion::Throughput`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotate throughput (reported as elements/sec or bytes/sec).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let median = run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
+        self.report_throughput(median);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let median = run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut |b| f(b, input),
+        );
+        self.report_throughput(median);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn report_throughput(&self, median_per_iter: Duration) {
+        let Some(t) = self.throughput else { return };
+        let secs = median_per_iter.as_secs_f64();
+        if secs <= 0.0 {
+            return;
+        }
+        match t {
+            Throughput::Elements(n) => {
+                println!("    thrpt: {:.0} elem/s", n as f64 / secs)
+            }
+            Throughput::Bytes(n) => {
+                println!("    thrpt: {:.0} B/s", n as f64 / secs)
+            }
+        }
+    }
+}
+
+/// A benchmark identifier with a parameter (mirror of
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times per sample to fill the
+    /// measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut F,
+) -> Duration
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: single iterations until the warm-up budget is spent; the
+    // timings also size the per-sample iteration count.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed() / warm_iters as u32;
+    let budget_per_sample = measurement_time / sample_size as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut b = Bencher {
+        iters_per_sample,
+        samples: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    b.samples.sort_unstable();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "{id:<48} time: {median:>12.3?}  ({} samples × {} iters)",
+        b.samples.len(),
+        iters_per_sample
+    );
+    median
+}
+
+/// Collect benchmark functions into a runnable group (mirror of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every group (mirror of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).measurement_time(Duration::from_millis(20));
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stand-in: the
+//! workspace annotates its vocabulary types with
+//! `#[derive(Serialize, Deserialize)]` for downstream consumers, but
+//! nothing in-tree serializes, so in offline builds the derives expand to
+//! nothing. Swapping the real `serde` back in is a two-line change in the
+//! workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde` derive surface. The workspace only
+//! uses `#[derive(Serialize, Deserialize)]` on its vocabulary types —
+//! nothing in-tree serializes — so the derives are re-exported as no-ops
+//! and the build needs no network access. To use the real serde, point
+//! the `serde` workspace dependency back at crates.io.
+
+pub use repmem_serde_derive_shim::{Deserialize, Serialize};

@@ -5,8 +5,8 @@ use crate::report::{CoherenceCheck, SimReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use repmem_core::{
-    Actions, CopyState, Dest, Msg, MsgKind, NodeId, ObjectId, OpKind, OpTag,
-    PayloadKind, ProtocolKind, QueueKind, Scenario, SystemParams, TraceSig,
+    Actions, CopyState, Dest, Msg, MsgKind, NodeId, ObjectId, OpKind, OpTag, PayloadKind,
+    ProtocolKind, QueueKind, Scenario, SystemParams, TraceSig,
 };
 use repmem_protocols::protocol;
 use repmem_workload::{per_node_mix, OpEvent, ScenarioSampler};
@@ -143,7 +143,10 @@ impl SimHost<'_> {
         }
         if self.env.msg.initiator == self.me {
             if let Some(p) = self.core.pending[self.me.idx()] {
-                return Params { value: p.value, version: p.tag.0 };
+                return Params {
+                    value: p.value,
+                    version: p.tag.0,
+                };
             }
         }
         panic!(
@@ -201,13 +204,17 @@ impl Actions for SimHost<'_> {
                 payload,
                 op: tag,
             };
-            self.core.schedule(1, EvKind::Deliver(r, Envelope { msg, params, copy }));
+            self.core
+                .schedule(1, EvKind::Deliver(r, Envelope { msg, params, copy }));
         }
     }
     fn change(&mut self) {
         let p = self.context_params();
         if p.version >= self.proc_copy.version {
-            *self.proc_copy = ObjectData { value: p.value, version: p.version };
+            *self.proc_copy = ObjectData {
+                value: p.value,
+                version: p.version,
+            };
         }
     }
     fn install(&mut self) {
@@ -218,7 +225,9 @@ impl Actions for SimHost<'_> {
     }
     fn ret(&mut self) {
         let tag = self.env.msg.op;
-        self.core.reads.push((tag, self.env.msg.object, self.proc_copy.version));
+        self.core
+            .reads
+            .push((tag, self.env.msg.object, self.proc_copy.version));
         let now = self.core.time;
         let rec = &mut self.core.ops[tag.0 as usize];
         if !rec.completed {
@@ -268,7 +277,10 @@ impl Sim {
                     owner: home,
                     enabled: true,
                     local_q: VecDeque::new(),
-                    copy: ObjectData { value: 0, version: 0 },
+                    copy: ObjectData {
+                        value: 0,
+                        version: 0,
+                    },
                 });
             }
         }
@@ -323,7 +335,9 @@ impl Sim {
             if !proc.enabled {
                 return;
             }
-            let Some(env) = proc.local_q.pop_front() else { return };
+            let Some(env) = proc.local_q.pop_front() else {
+                return;
+            };
             let tag = env.msg.op;
             self.step_process(node, env);
             self.try_complete_write(tag);
@@ -354,8 +368,11 @@ impl Sim {
             issued_at: self.core.time,
             completed_at: self.core.time,
         });
-        self.core.pending[ev.node.idx()] =
-            Some(Pending { tag, op: ev.op, value: tag.0 + 1 });
+        self.core.pending[ev.node.idx()] = Some(Pending {
+            tag,
+            op: ev.op,
+            value: tag.0 + 1,
+        });
         let kind = match ev.op {
             OpKind::Read => MsgKind::RReq,
             OpKind::Write => MsgKind::WReq,
@@ -363,10 +380,17 @@ impl Sim {
         let is_home = ev.node == self.cfg.sys.home();
         let msg = Msg::app_request(kind, ev.node, is_home, ev.object, tag);
         let params = match ev.op {
-            OpKind::Write => Some(Params { value: tag.0 + 1, version: tag.0 }),
+            OpKind::Write => Some(Params {
+                value: tag.0 + 1,
+                version: tag.0,
+            }),
             OpKind::Read => None,
         };
-        let env = Envelope { msg, params, copy: None };
+        let env = Envelope {
+            msg,
+            params,
+            copy: None,
+        };
         if is_home {
             // The sequencer's own requests flow through its distributed
             // queue.
@@ -422,7 +446,11 @@ impl Sim {
                 divergent_objects += 1;
             }
         }
-        CoherenceCheck { readable_copies, stale_readable, divergent_objects }
+        CoherenceCheck {
+            readable_copies,
+            stale_readable,
+            divergent_objects,
+        }
     }
 
     fn report(&self) -> SimReport {
@@ -438,7 +466,11 @@ impl Sim {
             measured_ops += 1;
             total_cost += rec.cost;
             *trace_counts
-                .entry(TraceSig { initiator: rec.node, op: rec.op, cost: rec.cost })
+                .entry(TraceSig {
+                    initiator: rec.node,
+                    op: rec.op,
+                    cost: rec.cost,
+                })
                 .or_default() += 1;
             *mix.entry((rec.node, rec.op)).or_default() += 1;
             if rec.completed {
@@ -459,7 +491,6 @@ impl Sim {
     }
 }
 
-
 /// Run a simulation of the given scenario.
 pub fn simulate(cfg: &SimConfig, scenario: &Scenario) -> SimReport {
     match cfg.mode {
@@ -472,7 +503,11 @@ pub fn simulate(cfg: &SimConfig, scenario: &Scenario) -> SimReport {
                 let tag = sim.issue(ev);
                 sim.drain();
                 let rec = &sim.core.ops[tag.0 as usize];
-                assert!(rec.completed, "{:?}: op {tag:?} did not complete", cfg.protocol);
+                assert!(
+                    rec.completed,
+                    "{:?}: op {tag:?} did not complete",
+                    cfg.protocol
+                );
                 // Freshness audit: in serialized mode a read must observe
                 // the newest applied version of its object.
                 if rec.op == OpKind::Read {
@@ -482,12 +517,8 @@ pub fn simulate(cfg: &SimConfig, scenario: &Scenario) -> SimReport {
                         .map(|p| p.copy.version)
                         .max()
                         .unwrap_or(0);
-                    if let Some(&(_, _, seen)) = sim
-                        .core
-                        .reads
-                        .iter()
-                        .rev()
-                        .find(|(t, _, _)| *t == tag)
+                    if let Some(&(_, _, seen)) =
+                        sim.core.reads.iter().rev().find(|(t, _, _)| *t == tag)
                     {
                         if seen != latest {
                             sim.stale_reads += 1;
@@ -500,7 +531,10 @@ pub fn simulate(cfg: &SimConfig, scenario: &Scenario) -> SimReport {
         IssueMode::Concurrent { mean_think } => {
             let mut sim = Sim::new(cfg);
             let mixes = per_node_mix(scenario);
-            assert!(!mixes.is_empty(), "concurrent mode needs at least one active node");
+            assert!(
+                !mixes.is_empty(),
+                "concurrent mode needs at least one active node"
+            );
             // Per-node mean think times inversely proportional to weight.
             let total = cfg.warmup_ops + cfg.measured_ops;
             let mut issued = 0usize;
@@ -524,7 +558,8 @@ pub fn simulate(cfg: &SimConfig, scenario: &Scenario) -> SimReport {
                     }
                     let Reverse(key) = sim.core.heap.pop().expect("peeked");
                     sim.core.time = key.0;
-                    let EvKind::Deliver(node, env) = sim.core.events.remove(&key).expect("scheduled event");
+                    let EvKind::Deliver(node, env) =
+                        sim.core.events.remove(&key).expect("scheduled event");
                     let tag = env.msg.op;
                     let object = env.msg.object;
                     sim.core.ops[tag.0 as usize].inflight -= 1;
@@ -549,7 +584,11 @@ pub fn simulate(cfg: &SimConfig, scenario: &Scenario) -> SimReport {
                     OpKind::Read
                 };
                 let object = ObjectId(sim.rng.random_range(0..m));
-                sim.issue(OpEvent { node: mx.node, object, op });
+                sim.issue(OpEvent {
+                    node: mx.node,
+                    object,
+                    op,
+                });
                 issued += 1;
                 let delay = exp_delay(&mut sim.rng, mean_think / mx.weight);
                 next_issue.push(Reverse((t + delay, seq, i)));
@@ -613,7 +652,12 @@ mod tests {
         )
         .unwrap();
         let rel = (report.acc() - analytic.acc).abs() / analytic.acc;
-        assert!(rel < 0.05, "sim {} vs analytic {} (rel {rel})", report.acc(), analytic.acc);
+        assert!(
+            rel < 0.05,
+            "sim {} vs analytic {} (rel {rel})",
+            report.acc(),
+            analytic.acc
+        );
         assert_eq!(report.stale_reads, 0);
         assert!(report.coherence.is_coherent(), "{:?}", report.coherence);
     }
@@ -638,7 +682,11 @@ mod tests {
                 analytic.acc
             );
             assert_eq!(report.stale_reads, 0, "{kind:?}: stale reads");
-            assert!(report.coherence.is_coherent(), "{kind:?}: {:?}", report.coherence);
+            assert!(
+                report.coherence.is_coherent(),
+                "{kind:?}: {:?}",
+                report.coherence
+            );
         }
     }
 
@@ -708,7 +756,12 @@ mod tests {
         for kind in ProtocolKind::ALL {
             let trace = repmem_workload::apps::grid_relaxation(3, 2, 5);
             let cfg = SimConfig {
-                sys: SystemParams { n_clients: 4, s: 64, p: 16, m_objects: 6 },
+                sys: SystemParams {
+                    n_clients: 4,
+                    s: 64,
+                    p: 16,
+                    m_objects: 6,
+                },
                 protocol: kind,
                 mode: IssueMode::Serialized,
                 warmup_ops: 0,
@@ -718,7 +771,11 @@ mod tests {
             let report = replay(&cfg, &trace);
             assert_eq!(report.measured_ops, trace.len());
             assert_eq!(report.stale_reads, 0, "{kind:?}");
-            assert!(report.coherence.is_coherent(), "{kind:?}: {:?}", report.coherence);
+            assert!(
+                report.coherence.is_coherent(),
+                "{kind:?}: {:?}",
+                report.coherence
+            );
             assert!(report.total_cost > 0, "{kind:?}");
         }
     }
@@ -741,7 +798,12 @@ mod tests {
     #[test]
     fn concurrent_stress_all_protocols_and_seeds() {
         // Heavier contention than Table 7: all clients read AND write.
-        let sys = SystemParams { n_clients: 5, s: 40, p: 10, m_objects: 3 };
+        let sys = SystemParams {
+            n_clients: 5,
+            s: 40,
+            p: 10,
+            m_objects: 3,
+        };
         let scenario = Scenario::multiple_centers(0.5, 4).unwrap();
         for kind in ProtocolKind::ALL {
             for seed in [1u64, 99, 12345] {
@@ -780,6 +842,11 @@ mod tests {
         )
         .unwrap();
         let rel = (report.acc() - analytic.acc).abs() / analytic.acc;
-        assert!(rel < 0.06, "sim {} vs analytic {}", report.acc(), analytic.acc);
+        assert!(
+            rel < 0.06,
+            "sim {} vs analytic {}",
+            report.acc(),
+            analytic.acc
+        );
     }
 }

@@ -32,7 +32,9 @@
 //! freshness) are machine-checkable after every run.
 
 pub mod kernel;
+pub mod replicate;
 pub mod report;
 
 pub use kernel::{replay, simulate, IssueMode, SimConfig};
+pub use replicate::{mean_acc, replication_seeds, simulate_replications};
 pub use report::{CoherenceCheck, SimReport};

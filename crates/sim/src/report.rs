@@ -60,7 +60,10 @@ impl SimReport {
     /// Empirical probability of each trace signature.
     pub fn trace_probs(&self) -> BTreeMap<TraceSig, f64> {
         let n = self.measured_ops.max(1) as f64;
-        self.trace_counts.iter().map(|(sig, c)| (*sig, *c as f64 / n)).collect()
+        self.trace_counts
+            .iter()
+            .map(|(sig, c)| (*sig, *c as f64 / n))
+            .collect()
     }
 
     /// Mean operation latency (virtual-time units), `0` with no samples.

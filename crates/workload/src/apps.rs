@@ -36,15 +36,31 @@ pub fn grid_relaxation(workers: usize, rows_per_worker: usize, iters: usize) -> 
             let node = NodeId(w as u16);
             // Read the neighbours' facing boundary rows.
             if w > 0 {
-                trace.push(OpEvent { node, object: row(w - 1, rows_per_worker - 1), op: OpKind::Read });
+                trace.push(OpEvent {
+                    node,
+                    object: row(w - 1, rows_per_worker - 1),
+                    op: OpKind::Read,
+                });
             }
             if w + 1 < workers {
-                trace.push(OpEvent { node, object: row(w + 1, 0), op: OpKind::Read });
+                trace.push(OpEvent {
+                    node,
+                    object: row(w + 1, 0),
+                    op: OpKind::Read,
+                });
             }
             // Relax the owned strip.
             for r in 0..rows_per_worker {
-                trace.push(OpEvent { node, object: row(w, r), op: OpKind::Read });
-                trace.push(OpEvent { node, object: row(w, r), op: OpKind::Write });
+                trace.push(OpEvent {
+                    node,
+                    object: row(w, r),
+                    op: OpKind::Read,
+                });
+                trace.push(OpEvent {
+                    node,
+                    object: row(w, r),
+                    op: OpKind::Write,
+                });
             }
         }
     }
@@ -65,8 +81,16 @@ pub fn producer_consumer(slots: usize, items: usize) -> Vec<OpEvent> {
     let mut trace = Vec::with_capacity(items * 2);
     for i in 0..items {
         let slot = ObjectId((i % slots) as u32);
-        trace.push(OpEvent { node: producer, object: slot, op: OpKind::Write });
-        trace.push(OpEvent { node: consumer, object: slot, op: OpKind::Read });
+        trace.push(OpEvent {
+            node: producer,
+            object: slot,
+            op: OpKind::Write,
+        });
+        trace.push(OpEvent {
+            node: consumer,
+            object: slot,
+            op: OpKind::Read,
+        });
     }
     trace
 }
@@ -88,10 +112,26 @@ pub fn work_queue(workers: usize, tasks: usize, seed: u64) -> Vec<OpEvent> {
     for _ in 0..tasks {
         let w = rng.random_range(0..workers);
         let worker = NodeId((w + 1) as u16);
-        trace.push(OpEvent { node: master, object: mailbox(w), op: OpKind::Write });
-        trace.push(OpEvent { node: worker, object: mailbox(w), op: OpKind::Read });
-        trace.push(OpEvent { node: worker, object: result(w), op: OpKind::Write });
-        trace.push(OpEvent { node: master, object: result(w), op: OpKind::Read });
+        trace.push(OpEvent {
+            node: master,
+            object: mailbox(w),
+            op: OpKind::Write,
+        });
+        trace.push(OpEvent {
+            node: worker,
+            object: mailbox(w),
+            op: OpKind::Read,
+        });
+        trace.push(OpEvent {
+            node: worker,
+            object: result(w),
+            op: OpKind::Write,
+        });
+        trace.push(OpEvent {
+            node: master,
+            object: result(w),
+            op: OpKind::Read,
+        });
     }
     trace
 }

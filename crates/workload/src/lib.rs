@@ -54,7 +54,11 @@ impl ScenarioSampler {
         assert!(!cdf.is_empty(), "scenario has no events");
         // Guard against floating-point undershoot at the top end.
         cdf.last_mut().expect("non-empty cdf").0 = f64::INFINITY;
-        ScenarioSampler { cdf, m_objects: m_objects as u32, rng: StdRng::seed_from_u64(seed) }
+        ScenarioSampler {
+            cdf,
+            m_objects: m_objects as u32,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Draw the next event.
@@ -117,7 +121,10 @@ pub fn empirical_mix(events: &[OpEvent], sys: &SystemParams) -> Vec<(NodeId, OpK
     }
     let total = events.len().max(1) as f64;
     let _ = sys;
-    counts.into_iter().map(|((n, o), c)| (n, o, c as f64 / total)).collect()
+    counts
+        .into_iter()
+        .map(|((n, o), c)| (n, o, c as f64 / total))
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,7 +147,9 @@ mod tests {
     #[test]
     fn sampler_matches_scenario_frequencies() {
         let scenario = rd();
-        let events: Vec<_> = ScenarioSampler::new(&scenario, 1, 42).take(200_000).collect();
+        let events: Vec<_> = ScenarioSampler::new(&scenario, 1, 42)
+            .take(200_000)
+            .collect();
         let sys = SystemParams::new(4, 10, 10);
         let mix = empirical_mix(&events, &sys);
         for (node, op, freq) in mix {
@@ -185,6 +194,8 @@ mod tests {
     fn zero_probability_events_never_sampled() {
         let scenario = Scenario::ideal(0.0).unwrap(); // reads only
         let events: Vec<_> = ScenarioSampler::new(&scenario, 2, 3).take(10_000).collect();
-        assert!(events.iter().all(|e| e.op == OpKind::Read && e.node == NodeId(0)));
+        assert!(events
+            .iter()
+            .all(|e| e.op == OpKind::Read && e.node == NodeId(0)));
     }
 }

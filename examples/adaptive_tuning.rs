@@ -12,13 +12,21 @@ use repmem_adaptive::switch_penalty;
 fn main() {
     let sys = SystemParams::new(10, 200, 30);
     let phases: Vec<(&str, Scenario, usize)> = vec![
-        ("private writes (ideal, p=0.6)", Scenario::ideal(0.6).unwrap(), 15_000),
+        (
+            "private writes (ideal, p=0.6)",
+            Scenario::ideal(0.6).unwrap(),
+            15_000,
+        ),
         (
             "read-mostly sharing (RD, p=0.02, σ=0.11, a=8)",
             Scenario::read_disturbance(0.02, 0.11, 8).unwrap(),
             15_000,
         ),
-        ("four active writers (MC, p=0.5, β=4)", Scenario::multiple_centers(0.5, 4).unwrap(), 15_000),
+        (
+            "four active writers (MC, p=0.5, β=4)",
+            Scenario::multiple_centers(0.5, 4).unwrap(),
+            15_000,
+        ),
     ];
 
     let classifier = Classifier { sys };
@@ -28,7 +36,10 @@ fn main() {
     let mut static_costs: Vec<(ProtocolKind, f64)> =
         ProtocolKind::ALL.into_iter().map(|k| (k, 0.0)).collect();
 
-    println!("adaptive DSM tuning — N={}, S={}, P={}\n", sys.n_clients, sys.s, sys.p);
+    println!(
+        "adaptive DSM tuning — N={}, S={}, P={}\n",
+        sys.n_clients, sys.s, sys.p
+    );
     for (label, scenario, ops) in &phases {
         // Observe a prefix of the phase through the estimator.
         let mut sampler = ScenarioSampler::new(scenario, 1, 99);
@@ -55,9 +66,23 @@ fn main() {
         );
     }
 
-    let (best_static, best_cost) =
-        static_costs.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1)).expect("eight protocols");
-    println!("\ntotal cost: adaptive {:.0} vs best static ({}) {:.0}", adaptive_cost, best_static.name(), best_cost);
-    println!("adaptation keeps {:.1} % of the best static protocol's traffic.", 100.0 * adaptive_cost / best_cost);
-    assert!(adaptive_cost < best_cost, "adaptation should win on shifting phases");
+    let (best_static, best_cost) = static_costs
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("eight protocols");
+    println!(
+        "\ntotal cost: adaptive {:.0} vs best static ({}) {:.0}",
+        adaptive_cost,
+        best_static.name(),
+        best_cost
+    );
+    println!(
+        "adaptation keeps {:.1} % of the best static protocol's traffic.",
+        100.0 * adaptive_cost / best_cost
+    );
+    assert!(
+        adaptive_cost < best_cost,
+        "adaptation should win on shifting phases"
+    );
 }

@@ -14,14 +14,21 @@ use repmem::prelude::*;
 use repmem_analytic::closed::closed_rd;
 
 fn arg(n: usize, default: f64) -> f64 {
-    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
     let p = arg(1, 0.3);
     let sigma = arg(2, 0.05);
     let a = arg(3, 4.0) as usize;
-    let sys = SystemParams::new(arg(4, 10.0) as usize, arg(5, 100.0) as u64, arg(6, 30.0) as u64);
+    let sys = SystemParams::new(
+        arg(4, 10.0) as usize,
+        arg(5, 100.0) as u64,
+        arg(6, 30.0) as u64,
+    );
 
     let scenario = match Scenario::read_disturbance(p, sigma, a) {
         Ok(s) => s,
@@ -73,5 +80,8 @@ fn main() {
         );
     }
     let (best, acc, ..) = rows[0];
-    println!("\ncheapest: {} at {acc:.4} cost units per operation", best.name());
+    println!(
+        "\ncheapest: {} at {acc:.4} cost units per operation",
+        best.name()
+    );
 }

@@ -31,7 +31,10 @@ fn main() {
     );
 
     // 1. Replay the exact trace under each protocol in the simulator.
-    println!("{:<16} {:>12} {:>14}", "protocol", "total cost", "cost/operation");
+    println!(
+        "{:<16} {:>12} {:>14}",
+        "protocol", "total cost", "cost/operation"
+    );
     let mut best = (ProtocolKind::WriteThrough, u64::MAX);
     for kind in ProtocolKind::ALL {
         let report = replay(
@@ -46,7 +49,12 @@ fn main() {
             &trace,
         );
         assert!(report.coherence.is_coherent(), "{kind:?} diverged");
-        println!("{:<16} {:>12} {:>14.3}", kind.name(), report.total_cost, report.acc());
+        println!(
+            "{:<16} {:>12} {:>14.3}",
+            kind.name(),
+            report.total_cost,
+            report.acc()
+        );
         if report.total_cost < best.1 {
             best = (kind, report.total_cost);
         }

@@ -12,10 +12,22 @@ use repmem::prelude::*;
 fn main() {
     // N = 4 clients + 1 sequencer; copy transfers cost S+1 = 65 units,
     // write-parameter transfers P+1 = 17 units, bare tokens 1 unit.
-    let sys = SystemParams { n_clients: 4, s: 64, p: 16, m_objects: 8 };
-    println!("repmem quickstart — N={}, S={}, P={}, M={} objects", sys.n_clients, sys.s, sys.p, sys.m_objects);
+    let sys = SystemParams {
+        n_clients: 4,
+        s: 64,
+        p: 16,
+        m_objects: 8,
+    };
+    println!(
+        "repmem quickstart — N={}, S={}, P={}, M={} objects",
+        sys.n_clients, sys.s, sys.p, sys.m_objects
+    );
 
-    for kind in [ProtocolKind::WriteThrough, ProtocolKind::Berkeley, ProtocolKind::Dragon] {
+    for kind in [
+        ProtocolKind::WriteThrough,
+        ProtocolKind::Berkeley,
+        ProtocolKind::Dragon,
+    ] {
         let cluster = Cluster::new(sys, kind);
         let alice = cluster.handle(NodeId(0));
         let bob = cluster.handle(NodeId(1));

@@ -38,10 +38,21 @@ fn grid_relaxation_all_protocols_coherent() {
     // Mostly-private rows with light boundary sharing: the ownership
     // protocols must beat plain Write-Through (which pays P+N for every
     // single write).
-    let wt = costs.iter().find(|(k, _)| *k == ProtocolKind::WriteThrough).unwrap().1;
-    for kind in [ProtocolKind::Berkeley, ProtocolKind::Illinois, ProtocolKind::WriteOnce] {
+    let wt = costs
+        .iter()
+        .find(|(k, _)| *k == ProtocolKind::WriteThrough)
+        .unwrap()
+        .1;
+    for kind in [
+        ProtocolKind::Berkeley,
+        ProtocolKind::Illinois,
+        ProtocolKind::WriteOnce,
+    ] {
         let c = costs.iter().find(|(k, _)| *k == kind).unwrap().1;
-        assert!(c < wt, "{kind:?} ({c}) should beat Write-Through ({wt}) on the grid");
+        assert!(
+            c < wt,
+            "{kind:?} ({c}) should beat Write-Through ({wt}) on the grid"
+        );
     }
 }
 
@@ -51,7 +62,12 @@ fn producer_consumer_prefers_updates() {
     // protocol pays a full re-fetch per item (S-dominated), the update
     // protocols only ship the parameters (P-dominated).
     let trace = apps::producer_consumer(4, 60);
-    let sys = SystemParams { n_clients: 3, s: 512, p: 8, m_objects: 4 };
+    let sys = SystemParams {
+        n_clients: 3,
+        s: 512,
+        p: 8,
+        m_objects: 4,
+    };
     let dragon = replay_cost(ProtocolKind::Dragon, sys, &trace);
     for kind in [
         ProtocolKind::WriteThrough,
@@ -85,7 +101,12 @@ fn work_queue_runs_under_every_protocol() {
 #[test]
 fn replayed_costs_are_deterministic() {
     let trace = apps::grid_relaxation(3, 2, 4);
-    let sys = SystemParams { n_clients: 3, s: 50, p: 10, m_objects: apps::grid_objects(3, 2) };
+    let sys = SystemParams {
+        n_clients: 3,
+        s: 50,
+        p: 10,
+        m_objects: apps::grid_objects(3, 2),
+    };
     let a = replay_cost(ProtocolKind::Synapse, sys, &trace);
     let b = replay_cost(ProtocolKind::Synapse, sys, &trace);
     assert_eq!(a, b);

@@ -26,8 +26,9 @@ fn ideal_workload_limits() {
     for p in [0.15, 0.5, 0.85] {
         let scenario = Scenario::ideal(p).unwrap();
         for kind in ProtocolKind::ALL {
-            let engine =
-                analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default()).unwrap().acc;
+            let engine = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
+                .unwrap()
+                .acc;
             let expect = ideal(kind, &sys, p);
             assert!(
                 (engine - expect).abs() < 1e-8,
@@ -35,7 +36,11 @@ fn ideal_workload_limits() {
             );
         }
         // The §5.1 formulas themselves.
-        assert!((ideal(ProtocolKind::WriteThrough, &sys, p) - p * ((1.0 - p) * (s + 2.0) + pc + n)).abs() < 1e-12);
+        assert!(
+            (ideal(ProtocolKind::WriteThrough, &sys, p) - p * ((1.0 - p) * (s + 2.0) + pc + n))
+                .abs()
+                < 1e-12
+        );
         assert!((ideal(ProtocolKind::WriteThroughV, &sys, p) - p * (pc + n + 2.0)).abs() < 1e-12);
         assert!((ideal(ProtocolKind::Dragon, &sys, p) - p * n * (pc + 1.0)).abs() < 1e-12);
         assert!((ideal(ProtocolKind::Firefly, &sys, p) - p * (n * (pc + 1.0) + 1.0)).abs() < 1e-12);
@@ -87,7 +92,10 @@ fn wt_wtv_crossover_line() {
             1.0 - a as f64 * sigma - 1e-6,
         )
         .expect("crossover exists");
-        assert!((found - line).abs() < 1e-6, "σ={sigma}, a={a}: {found} vs line {line}");
+        assert!(
+            (found - line).abs() < 1e-6,
+            "σ={sigma}, a={a}: {found} vs line {line}"
+        );
     }
 }
 
@@ -101,18 +109,39 @@ fn dragon_berkeley_structure() {
         let p = pi as f64 / 10.0;
         let sigma = 0.4 * (1.0 - p);
         assert_eq!(
-            cheaper_rd(ProtocolKind::Berkeley, ProtocolKind::Dragon, &sys, p, sigma, 1),
+            cheaper_rd(
+                ProtocolKind::Berkeley,
+                ProtocolKind::Dragon,
+                &sys,
+                p,
+                sigma,
+                1
+            ),
             Some(ProtocolKind::Berkeley)
         );
     }
     // N·P < S+2: Dragon wins at low p.
     let sys = SystemParams::figure5();
     assert_eq!(
-        cheaper_rd(ProtocolKind::Dragon, ProtocolKind::Berkeley, &sys, 0.005, 0.01, 1),
+        cheaper_rd(
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            &sys,
+            0.005,
+            0.01,
+            1
+        ),
         Some(ProtocolKind::Dragon)
     );
     assert_eq!(
-        cheaper_rd(ProtocolKind::Dragon, ProtocolKind::Berkeley, &sys, 0.5, 0.01, 1),
+        cheaper_rd(
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            &sys,
+            0.5,
+            0.01,
+            1
+        ),
         Some(ProtocolKind::Berkeley)
     );
 }
@@ -126,8 +155,9 @@ fn table7_bound_holds() {
     for kind in [ProtocolKind::WriteOnce, ProtocolKind::WriteThroughV] {
         for (p, sigma) in [(0.2, 0.2), (0.4, 0.2), (0.6, 0.2), (0.4, 0.0), (0.8, 0.1)] {
             let scenario = Scenario::read_disturbance(p, sigma, 2).unwrap();
-            let acc_a =
-                analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default()).unwrap().acc;
+            let acc_a = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
+                .unwrap()
+                .acc;
             if acc_a < 0.5 {
                 continue;
             }
@@ -144,7 +174,10 @@ fn table7_bound_holds() {
             )
             .acc();
             let disc = 100.0 * (acc_a - acc_s).abs() / acc_a;
-            assert!(disc < 8.0, "{kind:?} (p={p}, σ={sigma}): discrepancy {disc:.2} %");
+            assert!(
+                disc < 8.0,
+                "{kind:?} (p={p}, σ={sigma}): discrepancy {disc:.2} %"
+            );
         }
     }
 }

@@ -23,7 +23,12 @@ fn settle(cluster: &Cluster) -> u64 {
 
 #[test]
 fn serial_usage_costs_match_the_oracle_exactly() {
-    let sys = SystemParams { n_clients: 4, s: 64, p: 16, m_objects: 1 };
+    let sys = SystemParams {
+        n_clients: 4,
+        s: 64,
+        p: 16,
+        m_objects: 1,
+    };
     let obj = ObjectId(0);
     // A deterministic mixed sequence touching clients and the sequencer.
     let seq: Vec<(NodeId, OpKind)> = vec![
@@ -64,8 +69,7 @@ fn serial_usage_costs_match_the_oracle_exactly() {
         let measured = settle(&cluster);
         let dump = cluster.shutdown();
         assert_eq!(
-            measured,
-            predicted,
+            measured, predicted,
             "{kind:?}: live cluster cost {measured} vs oracle {predicted}"
         );
         assert!(dump.is_coherent(), "{kind:?}: replicas diverged");
@@ -75,7 +79,12 @@ fn serial_usage_costs_match_the_oracle_exactly() {
 #[test]
 fn multi_object_isolation() {
     // Traffic on one object never touches another object's replicas.
-    let sys = SystemParams { n_clients: 3, s: 32, p: 8, m_objects: 3 };
+    let sys = SystemParams {
+        n_clients: 3,
+        s: 32,
+        p: 8,
+        m_objects: 3,
+    };
     let cluster = Cluster::new(sys, ProtocolKind::Illinois);
     let h0 = cluster.handle(NodeId(0));
     let h1 = cluster.handle(NodeId(1));

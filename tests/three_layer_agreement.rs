@@ -1,9 +1,9 @@
 //! The workspace's central consistency property: the closed forms, the
 //! Markov chain engine and the discrete-event simulator agree — for every
-//! protocol, across all three workload deviations, including
-//! property-based random scenarios.
+//! protocol, across all three workload deviations, including seeded
+//! random scenarios.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
 use repmem::prelude::*;
 use repmem_analytic::closed::closed_rd;
 
@@ -33,14 +33,18 @@ fn all_deviations_all_protocols() {
     ];
     for scenario in &scenarios {
         for kind in ProtocolKind::ALL {
-            let engine =
-                analyze(protocol(kind), &sys, scenario, AnalyzeOpts::default()).unwrap().acc;
+            let engine = analyze(protocol(kind), &sys, scenario, AnalyzeOpts::default())
+                .unwrap()
+                .acc;
             let sim = sim_acc(kind, &sys, scenario, 31);
             if engine < 0.5 {
                 assert!(sim < 1.0, "{kind:?}: engine {engine} vs sim {sim}");
             } else {
                 let rel = (engine - sim).abs() / engine;
-                assert!(rel < 0.07, "{kind:?}: engine {engine} vs sim {sim} (rel {rel:.4})");
+                assert!(
+                    rel < 0.07,
+                    "{kind:?}: engine {engine} vs sim {sim} (rel {rel:.4})"
+                );
             }
         }
     }
@@ -76,31 +80,38 @@ fn trace_probability_agreement_for_write_through() {
             continue;
         }
         let e = emp.get(sig).copied().unwrap_or(0.0);
-        assert!((e - pi).abs() < 0.015, "{sig}: empirical {e:.4} vs analytic {pi:.4}");
+        assert!(
+            (e - pi).abs() < 0.015,
+            "{sig}: empirical {e:.4} vs analytic {pi:.4}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-    #[test]
-    fn random_rd_scenarios_agree(
-        p in 0.05f64..0.6,
-        sigma in 0.005f64..0.06,
-        a in 1usize..4,
-        seed in 0u64..1000,
-    ) {
-        prop_assume!(p + a as f64 * sigma < 0.95);
+/// Deterministic replacement for the former property test: 12 seeded
+/// random read-disturbance scenarios checked across all three layers.
+#[test]
+fn random_rd_scenarios_agree() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x3_1a7e5);
+    let mut checked = 0usize;
+    while checked < 12 {
+        let p = 0.05 + 0.55 * rng.random::<f64>();
+        let sigma = 0.005 + 0.055 * rng.random::<f64>();
+        let a = rng.random_range(1usize..4);
+        let seed = rng.random_range(0u64..1000);
+        if p + a as f64 * sigma >= 0.95 {
+            continue;
+        }
+        checked += 1;
         let sys = SystemParams::new(5, 50, 10);
         let scenario = Scenario::read_disturbance(p, sigma, a).unwrap();
         const MEASURED_OPS: f64 = 6000.0;
         for kind in ProtocolKind::ALL {
             let closed = closed_rd(kind, &sys, p, sigma, a);
-            let result = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
-                .unwrap();
+            let result = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default()).unwrap();
             let engine = result.acc;
-            prop_assert!(
+            assert!(
                 (closed - engine).abs() < 1e-7 * (1.0 + engine),
-                "{:?}: closed {closed} vs engine {engine}", kind
+                "{kind:?}: closed {closed} vs engine {engine}"
             );
             // Statistics-aware simulation check: the measured acc is a
             // mean of MEASURED_OPS i.i.d. trace costs whose distribution
@@ -113,9 +124,9 @@ proptest! {
                 .sum();
             let tol = 5.0 * (var / MEASURED_OPS).sqrt() + 1e-6;
             let sim = sim_acc(kind, &sys, &scenario, seed);
-            prop_assert!(
+            assert!(
                 (engine - sim).abs() < tol,
-                "{:?}: engine {engine} vs sim {sim} (5σ tolerance {tol:.4})", kind
+                "{kind:?}: engine {engine} vs sim {sim} (5σ tolerance {tol:.4})"
             );
         }
     }
