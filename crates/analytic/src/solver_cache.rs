@@ -83,13 +83,16 @@ impl Key {
     }
 }
 
+/// One key's slot: `None` while the first solve is in flight.
+type Slot = Arc<Mutex<Option<Arc<ChainResult>>>>;
+
 /// A thread-safe memo table over [`analyze`].
 ///
 /// Shared by reference (or `Arc`) across sweep workers; see
 /// `repmem-bench`'s sweep engine for the main consumer.
 #[derive(Default)]
 pub struct SolverCache {
-    map: Mutex<HashMap<Key, Arc<ChainResult>>>,
+    map: Mutex<HashMap<Key, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -104,10 +107,10 @@ impl SolverCache {
     /// `(protocol, system, scenario, opts)` if present, otherwise solves
     /// and caches.
     ///
-    /// The chain is solved *outside* the lock, so a slow solve never
-    /// blocks hits on other keys; if two workers race on the same fresh
-    /// key both solve it (deterministically, to the same result) and the
-    /// first insertion wins.
+    /// Each key has its own slot lock, so a slow solve never blocks hits
+    /// on other keys, and workers racing on the same fresh key block on
+    /// the slot instead of solving it redundantly — every distinct key is
+    /// solved (and counted as a miss) exactly once.
     pub fn analyze(
         &self,
         protocol: &dyn CoherenceProtocol,
@@ -116,14 +119,28 @@ impl SolverCache {
         opts: AnalyzeOpts,
     ) -> Result<Arc<ChainResult>, AnalyzeError> {
         let key = Key::new(protocol.kind(), sys, scenario, &opts);
-        if let Some(hit) = self.map.lock().get(&key) {
+        // The map lock is released before the slot lock is taken, so no
+        // thread ever holds both (the error path below relies on that).
+        let slot: Slot = Arc::clone(self.map.lock().entry(key.clone()).or_default());
+        let mut guard = slot.lock();
+        if let Some(hit) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = Arc::new(analyze(protocol, sys, scenario, opts)?);
-        let mut map = self.map.lock();
-        Ok(Arc::clone(map.entry(key).or_insert(result)))
+        match analyze(protocol, sys, scenario, opts) {
+            Ok(result) => {
+                let result = Arc::new(result);
+                *guard = Some(Arc::clone(&result));
+                Ok(result)
+            }
+            Err(e) => {
+                // Drop the placeholder so the next lookup retries instead
+                // of finding a permanently empty slot.
+                self.map.lock().remove(&key);
+                Err(e)
+            }
+        }
     }
 
     /// Number of lookups answered from the cache.
@@ -147,12 +164,13 @@ impl SolverCache {
         }
     }
 
-    /// Number of distinct solves currently stored.
+    /// Number of distinct keys currently stored (including in-flight
+    /// solves).
     pub fn len(&self) -> usize {
         self.map.lock().len()
     }
 
-    /// `true` when no solve has been stored yet.
+    /// `true` when no solve has been stored or started yet.
     pub fn is_empty(&self) -> bool {
         self.map.lock().is_empty()
     }

@@ -36,11 +36,11 @@ fn bench_runtime(c: &mut Criterion) {
                 let payload = Bytes::from_static(b"payload");
                 b.iter(|| {
                     for _ in 0..OPS / 2 {
-                        h.write(ObjectId(0), payload.clone());
-                        black_box(h.read(ObjectId(0)));
+                        h.write(ObjectId(0), payload.clone()).unwrap();
+                        black_box(h.read(ObjectId(0)).unwrap());
                     }
                 });
-                cluster.shutdown();
+                cluster.shutdown().unwrap();
             },
         );
         g.bench_with_input(
@@ -55,11 +55,11 @@ fn bench_runtime(c: &mut Criterion) {
                 let payload = Bytes::from_static(b"payload");
                 b.iter(|| {
                     for _ in 0..OPS / 2 {
-                        w.write(ObjectId(1), payload.clone());
-                        black_box(r.read(ObjectId(1)));
+                        w.write(ObjectId(1), payload.clone()).unwrap();
+                        black_box(r.read(ObjectId(1)).unwrap());
                     }
                 });
-                cluster.shutdown();
+                cluster.shutdown().unwrap();
             },
         );
     }

@@ -25,6 +25,23 @@ pub enum QueueKind {
     Distributed,
 }
 
+impl QueueKind {
+    /// Both queue kinds, in wire-code order.
+    pub const ALL: [QueueKind; 2] = [QueueKind::Local, QueueKind::Distributed];
+
+    /// Stable single-byte code used by wire codecs (`repmem-net`).
+    #[inline]
+    pub fn wire_code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`QueueKind::wire_code`]; `None` for unknown codes.
+    #[inline]
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+}
+
 /// Parameter presence of a message (paper's `parameter-presence` field),
 /// which determines its communication cost:
 ///
@@ -41,6 +58,25 @@ pub enum PayloadKind {
     Params,
     /// Token + complete new user-information part of a copy.
     Copy,
+}
+
+impl PayloadKind {
+    /// All parameter presences, in wire-code order. The order matches the
+    /// cost-class buckets (`1`, `P+1`, `S+1`) used by per-link meters.
+    pub const ALL: [PayloadKind; 3] = [PayloadKind::Token, PayloadKind::Params, PayloadKind::Copy];
+
+    /// Stable single-byte code used by wire codecs (`repmem-net`); also
+    /// the cost-class bucket index.
+    #[inline]
+    pub fn wire_code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`PayloadKind::wire_code`]; `None` for unknown codes.
+    #[inline]
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
 }
 
 /// Message types used across the eight protocols (paper's `type` field).
@@ -94,6 +130,39 @@ pub enum MsgKind {
 }
 
 impl MsgKind {
+    /// Every message kind, in wire-code order ([`MsgKind::wire_code`]
+    /// indexes into this array).
+    pub const ALL: [MsgKind; 16] = [
+        MsgKind::RReq,
+        MsgKind::WReq,
+        MsgKind::RPer,
+        MsgKind::WPer,
+        MsgKind::WUpg,
+        MsgKind::RGnt,
+        MsgKind::WGnt,
+        MsgKind::WInv,
+        MsgKind::Upd,
+        MsgKind::Recall,
+        MsgKind::RecallX,
+        MsgKind::Flush,
+        MsgKind::FlushX,
+        MsgKind::Retry,
+        MsgKind::Ack,
+        MsgKind::DirtyNote,
+    ];
+
+    /// Stable single-byte code used by wire codecs (`repmem-net`).
+    #[inline]
+    pub fn wire_code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`MsgKind::wire_code`]; `None` for unknown codes.
+    #[inline]
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+
     /// `true` for the two application-request kinds that enter via a
     /// node's own queue rather than over a channel.
     #[inline]
@@ -208,27 +277,26 @@ mod tests {
 
     #[test]
     fn mnemonics_are_unique() {
-        let all = [
-            MsgKind::RReq,
-            MsgKind::WReq,
-            MsgKind::RPer,
-            MsgKind::WPer,
-            MsgKind::WUpg,
-            MsgKind::RGnt,
-            MsgKind::WGnt,
-            MsgKind::WInv,
-            MsgKind::Upd,
-            MsgKind::Recall,
-            MsgKind::RecallX,
-            MsgKind::Flush,
-            MsgKind::FlushX,
-            MsgKind::Retry,
-            MsgKind::Ack,
-            MsgKind::DirtyNote,
-        ];
-        let mut names: Vec<_> = all.iter().map(|k| k.mnemonic()).collect();
+        let mut names: Vec<_> = MsgKind::ALL.iter().map(|k| k.mnemonic()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), all.len());
+        assert_eq!(names.len(), MsgKind::ALL.len());
+    }
+
+    #[test]
+    fn wire_codes_round_trip() {
+        for (i, &k) in MsgKind::ALL.iter().enumerate() {
+            assert_eq!(k.wire_code(), i as u8);
+            assert_eq!(MsgKind::from_wire_code(i as u8), Some(k));
+        }
+        assert_eq!(MsgKind::from_wire_code(MsgKind::ALL.len() as u8), None);
+        for &p in &PayloadKind::ALL {
+            assert_eq!(PayloadKind::from_wire_code(p.wire_code()), Some(p));
+        }
+        assert_eq!(PayloadKind::from_wire_code(3), None);
+        for &q in &QueueKind::ALL {
+            assert_eq!(QueueKind::from_wire_code(q.wire_code()), Some(q));
+        }
+        assert_eq!(QueueKind::from_wire_code(2), None);
     }
 }

@@ -1,0 +1,132 @@
+//! Deterministic, seeded link-latency injection.
+//!
+//! [`DelayTransport`] wraps any transport and holds every outgoing
+//! envelope in a per-node FIFO queue whose worker forwards messages one
+//! at a time after a seeded pseudo-random delay. Because one worker
+//! drains one node's queue strictly in send order, per-link FIFO
+//! delivery is preserved — the wrapper only stretches time, never
+//! reorders. Delay *sequences* are deterministic per node (seeded with
+//! `seed ^ node`), so a given workload always experiences the same
+//! latency schedule.
+//!
+//! The paper's cost model counts abstract message units, not wall-clock
+//! latency, so delayed runs must produce byte-identical costs — which is
+//! exactly what makes this wrapper useful for shaking out timeout,
+//! settle and backlog behaviour in the runtime.
+
+use crate::{DeliverFn, Endpoint, Envelope, NetError, Transport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repmem_core::NodeId;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Latency schedule parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayConfig {
+    /// Seed for the per-node delay sequences.
+    pub seed: u64,
+    /// Minimum injected delay per message.
+    pub min: Duration,
+    /// Maximum injected delay per message (inclusive range end rounds up
+    /// to at least `min`).
+    pub max: Duration,
+}
+
+impl DelayConfig {
+    /// A schedule in `[min, max]` microseconds.
+    pub fn micros(seed: u64, min: u64, max: u64) -> Self {
+        DelayConfig {
+            seed,
+            min: Duration::from_micros(min),
+            max: Duration::from_micros(max),
+        }
+    }
+}
+
+/// A [`Transport`] wrapper injecting seeded per-link delays (see module
+/// docs).
+pub struct DelayTransport<T> {
+    inner: T,
+    cfg: DelayConfig,
+}
+
+impl<T: Transport> DelayTransport<T> {
+    /// Wrap `inner` with the given latency schedule.
+    pub fn new(inner: T, cfg: DelayConfig) -> Self {
+        DelayTransport { inner, cfg }
+    }
+}
+
+impl<T: Transport> Transport for DelayTransport<T> {
+    fn n_nodes(&self) -> usize {
+        self.inner.n_nodes()
+    }
+
+    fn bind(&mut self, node: NodeId, deliver: DeliverFn) -> Result<Box<dyn Endpoint>, NetError> {
+        let inner = Arc::new(self.inner.bind(node, deliver)?);
+        let (tx, rx) = channel::<(NodeId, Envelope)>();
+        let min = self.cfg.min.min(self.cfg.max);
+        let span = self.cfg.max.saturating_sub(min);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ node.0 as u64);
+        let forwarder = Arc::clone(&inner);
+        let worker = std::thread::spawn(move || {
+            while let Ok((to, env)) = rx.recv() {
+                let jitter = if span.is_zero() {
+                    Duration::ZERO
+                } else {
+                    Duration::from_nanos(rng.random_range(0..span.as_nanos() as u64 + 1))
+                };
+                std::thread::sleep(min + jitter);
+                // The endpoint may already be closed during shutdown; a
+                // late delivery failure is indistinguishable from the
+                // message still being "on the wire" when the link died.
+                let _ = forwarder.send(to, &env);
+            }
+        });
+        Ok(Box::new(DelayEndpoint {
+            inner,
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+        }))
+    }
+
+    fn meter(&self) -> Option<crate::MeterHandle> {
+        self.inner.meter()
+    }
+}
+
+struct DelayEndpoint {
+    inner: Arc<Box<dyn Endpoint>>,
+    tx: Mutex<Option<Sender<(NodeId, Envelope)>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Endpoint for DelayEndpoint {
+    fn send(&self, to: NodeId, env: &Envelope) -> Result<(), NetError> {
+        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(tx) => tx.send((to, env.clone())).map_err(|_| NetError::Closed(to)),
+            None => Err(NetError::Closed(to)),
+        }
+    }
+
+    fn close(&self) {
+        // Drop the sender so the worker drains the queue and exits, then
+        // wait for it: every already-queued message still gets delivered
+        // (reliable-link axiom) before the wrapped endpoint closes.
+        drop(self.tx.lock().unwrap_or_else(|e| e.into_inner()).take());
+        if let Some(w) = self.worker.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = w.join();
+        }
+        self.inner.close();
+    }
+}
+
+impl Drop for DelayEndpoint {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

@@ -1,0 +1,358 @@
+//! TCP transport: the cluster's FIFO links realized as real sockets.
+//!
+//! Exactly one TCP stream exists per unordered node pair — the
+//! lower-numbered node dials, the higher-numbered node accepts — so the
+//! stream's byte order *is* the link's FIFO order in both directions.
+//! Every connection opens with a [`Frame::Hello`] identifying the dialer
+//! (peer node id, or [`CTRL_NODE`] for a control-plane connection), and
+//! all subsequent traffic is length-prefixed frames from the [`codec`]
+//! module.
+//!
+//! Two deployment shapes share the same [`TcpEndpoint`]:
+//!
+//! * [`TcpTransport::loopback`] — a single-process mesh over
+//!   `127.0.0.1` ephemeral ports, plugging into `Cluster` exactly like
+//!   the in-process transport (the loopback agreement tests rely on
+//!   this).
+//! * [`TcpEndpoint::establish`] — one endpoint per OS process, used by
+//!   the `repmem-node` binary: dials retry until the peer processes come
+//!   up, and an optional control handler serves driver connections.
+//!
+//! [`codec`]: crate::codec
+
+use crate::codec::{encode_envelope_frame, read_frame, write_frame, Frame, WIRE_VERSION};
+use crate::{DeliverFn, Endpoint, Envelope, NetError, Transport};
+use repmem_core::NodeId;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Node id carried by a [`Frame::Hello`] on control-plane connections.
+pub const CTRL_NODE: u16 = 0xFFFF;
+
+/// An accepted control-plane connection, handed to the [`CtrlHandler`]
+/// after the hello handshake. The reader must be reused as-is — it may
+/// already hold buffered frames that arrived right behind the hello.
+pub struct CtrlConn {
+    /// Framed read half.
+    pub reader: BufReader<TcpStream>,
+    /// Write half.
+    pub writer: TcpStream,
+}
+
+/// Handler invoked (on the connection's own thread, which must not
+/// block endpoint close) for each accepted control connection.
+pub type CtrlHandler = Box<dyn Fn(CtrlConn) + Send + Sync>;
+
+/// Everything one node needs to join a TCP mesh.
+pub struct TcpMeshConfig {
+    /// This node's id.
+    pub me: NodeId,
+    /// This node's bound listener.
+    pub listener: TcpListener,
+    /// Listen address of every node, indexed by node id (`peers[me]` is
+    /// this node's own address).
+    pub peers: Vec<SocketAddr>,
+    /// Total budget for dialing each peer (retries until then) and for
+    /// waiting on a not-yet-accepted inbound link at first send.
+    pub link_timeout: Duration,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One directed writer slot; filled when the link's stream is up.
+struct Slot {
+    stream: Mutex<Option<TcpStream>>,
+    ready: Condvar,
+}
+
+struct Shared {
+    me: NodeId,
+    deliver: DeliverFn,
+    ctrl: Option<CtrlHandler>,
+    slots: Vec<Slot>,
+    closed: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    listen_addr: SocketAddr,
+    link_timeout: Duration,
+}
+
+impl Shared {
+    fn install_link(&self, peer: NodeId, stream: &TcpStream) -> std::io::Result<()> {
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let slot = &self.slots[peer.idx()];
+        *lock(&slot.stream) = Some(writer);
+        slot.ready.notify_all();
+        Ok(())
+    }
+
+    /// Pump envelopes off one peer stream into the deliver sink until
+    /// the stream dies or the endpoint closes.
+    fn run_reader(&self, mut r: BufReader<TcpStream>, peer: NodeId) {
+        // Anything other than an envelope on a peer link is a protocol
+        // violation; Eof / Io covers orderly and disorderly disconnects.
+        while let Ok(Frame::Envelope(env)) = read_frame(&mut r) {
+            (self.deliver)(env);
+        }
+        if !self.closed.load(Ordering::Relaxed) {
+            // The peer is gone: drop the writer so sends fail fast
+            // instead of buffering into a dead socket.
+            lock(&self.slots[peer.idx()].stream).take();
+        }
+    }
+}
+
+/// A node's endpoint on a TCP mesh (see module docs).
+pub struct TcpEndpoint {
+    shared: Arc<Shared>,
+}
+
+impl TcpEndpoint {
+    /// Join the mesh: start the acceptor, dial every higher-numbered
+    /// peer (with retries, so processes may start in any order), and
+    /// return once the dial side is wired. Inbound links complete
+    /// asynchronously; a send over a link whose peer has not connected
+    /// yet blocks up to `link_timeout`.
+    pub fn establish(
+        cfg: TcpMeshConfig,
+        deliver: DeliverFn,
+        ctrl: Option<CtrlHandler>,
+    ) -> Result<TcpEndpoint, NetError> {
+        let n = cfg.peers.len();
+        if cfg.me.idx() >= n {
+            return Err(NetError::Closed(cfg.me));
+        }
+        let shared = Arc::new(Shared {
+            me: cfg.me,
+            deliver,
+            ctrl,
+            slots: (0..n)
+                .map(|_| Slot {
+                    stream: Mutex::new(None),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            closed: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            listen_addr: cfg.listener.local_addr()?,
+            link_timeout: cfg.link_timeout,
+        });
+
+        // Acceptor: lower-numbered nodes dial us; control connections
+        // may arrive at any time.
+        let acc_shared = Arc::clone(&shared);
+        let listener = cfg.listener;
+        let acceptor = std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if acc_shared.closed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let conn_shared = Arc::clone(&acc_shared);
+                    let h = std::thread::spawn(move || handle_incoming(&conn_shared, stream));
+                    lock(&acc_shared.threads).push(h);
+                }
+                Err(_) => {
+                    if acc_shared.closed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+            }
+        });
+        lock(&shared.threads).push(acceptor);
+
+        // Dial side: one stream per higher-numbered peer.
+        for j in cfg.me.idx() + 1..n {
+            let peer = NodeId(j as u16);
+            let stream = dial_with_retry(cfg.peers[j], cfg.link_timeout)?;
+            let mut w = stream.try_clone().map_err(NetError::from)?;
+            write_frame(
+                &mut w,
+                &Frame::Hello {
+                    version: WIRE_VERSION,
+                    node: cfg.me.0,
+                },
+            )
+            .map_err(NetError::from)?;
+            shared.install_link(peer, &stream)?;
+            let rd_shared = Arc::clone(&shared);
+            let h = std::thread::spawn(move || rd_shared.run_reader(BufReader::new(stream), peer));
+            lock(&shared.threads).push(h);
+        }
+        Ok(TcpEndpoint { shared })
+    }
+}
+
+fn dial_with_retry(addr: SocketAddr, budget: Duration) -> Result<TcpStream, NetError> {
+    let deadline = Instant::now() + budget;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(NetError::Io(format!("dialing {addr}: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+fn handle_incoming(shared: &Arc<Shared>, stream: TcpStream) {
+    // Bound the hello handshake so a silent connection can't pin the
+    // thread forever; cleared once the peer identifies itself.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // One reader for the connection's whole life: it may buffer frames
+    // that arrived right behind the hello.
+    let mut reader = BufReader::new(read_half);
+    let node = match read_frame(&mut reader) {
+        Ok(Frame::Hello { version, node }) if version == WIRE_VERSION => node,
+        _ => return, // wrong version or garbage: drop the connection
+    };
+    let _ = stream.set_read_timeout(None);
+    if node == CTRL_NODE {
+        if let Some(ctrl) = &shared.ctrl {
+            ctrl(CtrlConn {
+                reader,
+                writer: stream,
+            });
+        }
+        return;
+    }
+    let peer = NodeId(node);
+    // Only lower-numbered peers dial us, and only once per pair.
+    if peer.idx() >= shared.slots.len() || peer >= shared.me {
+        return;
+    }
+    if shared.install_link(peer, &stream).is_err() {
+        return;
+    }
+    shared.run_reader(reader, peer);
+}
+
+impl Endpoint for TcpEndpoint {
+    fn send(&self, to: NodeId, env: &Envelope) -> Result<(), NetError> {
+        let shared = &self.shared;
+        if shared.closed.load(Ordering::Relaxed) {
+            return Err(NetError::Closed(to));
+        }
+        if to == shared.me {
+            (shared.deliver)(env.clone());
+            return Ok(());
+        }
+        let slot = shared.slots.get(to.idx()).ok_or(NetError::Closed(to))?;
+        let mut guard = lock(&slot.stream);
+        let deadline = Instant::now() + shared.link_timeout;
+        while guard.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() || shared.closed.load(Ordering::Relaxed) {
+                return Err(NetError::Io(format!(
+                    "link {} → {to} not established within {:?}",
+                    shared.me, shared.link_timeout
+                )));
+            }
+            guard = slot
+                .ready
+                .wait_timeout(guard, left)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        use std::io::Write;
+        let stream = guard.as_mut().expect("checked above");
+        let bytes = encode_envelope_frame(env);
+        stream
+            .write_all(&bytes)
+            .map_err(|e| NetError::Io(format!("sending to {to}: {e}")))
+    }
+
+    fn close(&self) {
+        let shared = &self.shared;
+        if shared.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Tear down every peer stream: readers unblock with an error.
+        for slot in &shared.slots {
+            if let Some(s) = lock(&slot.stream).take() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        // Wake the acceptor out of `accept()`.
+        let _ = TcpStream::connect(shared.listen_addr);
+        let threads: Vec<_> = lock(&shared.threads).drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Single-process TCP mesh over `127.0.0.1` ephemeral ports: a drop-in
+/// [`Transport`] whose links are real kernel sockets.
+pub struct TcpTransport {
+    addrs: Vec<SocketAddr>,
+    listeners: Vec<Option<TcpListener>>,
+    link_timeout: Duration,
+}
+
+impl TcpTransport {
+    /// Bind `n` loopback listeners on ephemeral ports.
+    pub fn loopback(n: usize) -> std::io::Result<Self> {
+        let mut addrs = Vec::with_capacity(n);
+        let mut listeners = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(l.local_addr()?);
+            listeners.push(Some(l));
+        }
+        Ok(TcpTransport {
+            addrs,
+            listeners,
+            link_timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// The listen address of every node, indexed by node id.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+}
+
+impl Transport for TcpTransport {
+    fn n_nodes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn bind(&mut self, node: NodeId, deliver: DeliverFn) -> Result<Box<dyn Endpoint>, NetError> {
+        let listener = self
+            .listeners
+            .get_mut(node.idx())
+            .and_then(Option::take)
+            .ok_or_else(|| NetError::Io(format!("{node} already bound or out of range")))?;
+        let ep = TcpEndpoint::establish(
+            TcpMeshConfig {
+                me: node,
+                listener,
+                peers: self.addrs.clone(),
+                link_timeout: self.link_timeout,
+            },
+            deliver,
+            None,
+        )?;
+        Ok(Box::new(ep))
+    }
+}

@@ -1,320 +1,40 @@
-//! The node threads, channels and the blocking application API.
+//! The node threads, transport wiring and the blocking application API.
 
-use bytes::Bytes;
-use parking_lot::Mutex;
-use repmem_core::{
-    Actions, CopyState, Dest, Msg, MsgKind, NodeId, ObjectId, OpKind, OpTag, PayloadKind,
-    ProtocolKind, QueueKind, Role, SystemParams,
+use crate::node::{
+    node_loop, poison_get, poison_set, AppReq, ClusterError, NodeCtx, ReplicaSnap, VersionClock,
+    Wire,
 };
-use repmem_protocols::protocol;
-use std::collections::VecDeque;
+use bytes::Bytes;
+use repmem_core::{NodeId, ObjectId, OpKind, OpTag, ProtocolKind, SystemParams};
+use repmem_net::{InProcTransport, MeterHandle, Transport};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// Versioned replica payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Copy {
-    data: Bytes,
-    version: u64,
-}
+/// Default [`Cluster::shutdown`] deadline for joining node threads.
+pub const DEFAULT_STOP_DEADLINE: Duration = Duration::from_secs(5);
 
-/// A message envelope on the wire.
-#[derive(Debug, Clone)]
-struct Envelope {
-    msg: Msg,
-    params: Option<Copy>,
-    copy: Option<Copy>,
-}
-
-/// Everything a node thread can receive on its single merged inbox.
-///
-/// Merging the distributed and local queues into one FIFO channel keeps
-/// the node loop on `std::sync::mpsc` (no `select!` needed): local
-/// requests that arrive while an operation is in flight are parked in a
-/// backlog and started as soon as the node is free again.
-enum Wire {
-    Net(Envelope),
-    Local(AppReq, OpTag),
-    Stop,
-}
-
-/// An application request delivered to the local protocol process.
-struct AppReq {
-    op: OpKind,
-    object: ObjectId,
-    data: Option<Bytes>,
-    reply: SyncSender<Bytes>,
-}
-
-/// Per-(node, object) protocol-process state.
-struct Proc {
-    state: CopyState,
-    owner: NodeId,
-    copy: Copy,
-}
-
-/// The in-flight application operation at a node.
-struct PendingApp {
-    op: OpKind,
-    object: ObjectId,
-    tag: OpTag,
-    data: Option<Copy>,
-    reply: SyncSender<Bytes>,
-    /// `true` once the protocol requires a response before completion.
-    blocked: bool,
-}
-
-struct NodeCtx {
-    me: NodeId,
-    sys: SystemParams,
-    kind: ProtocolKind,
-    peers: Vec<Sender<Wire>>,
-    procs: Vec<Proc>,
-    pending: Option<PendingApp>,
-    cost: Arc<AtomicU64>,
-    messages: Arc<AtomicU64>,
-    versions: Arc<AtomicU64>,
-}
-
-struct NodeHost<'a> {
-    me: NodeId,
-    sys: SystemParams,
-    peers: &'a [Sender<Wire>],
-    proc_: &'a mut Proc,
-    pending: &'a mut Option<PendingApp>,
-    env: &'a Envelope,
-    cost: &'a AtomicU64,
-    messages: &'a AtomicU64,
-    versions: &'a AtomicU64,
-    /// Set when `ret` fires (read completion).
-    returned: &'a mut bool,
-    /// Set when `enable_local` fires (blocked-write completion).
-    enabled: &'a mut bool,
-}
-
-impl NodeHost<'_> {
-    /// The write parameters in scope for the current step: either carried
-    /// by the envelope or, at the initiator, the pending operation's data.
-    ///
-    /// Versions are stamped *here*, at the first materialization of the
-    /// parameters (i.e. when the write is applied or shipped), from a
-    /// cluster-global counter. Stamping at request time instead would let
-    /// the version order disagree with the protocol's serialization order
-    /// (a later-granted write could carry an earlier tag), and the
-    /// last-writer-wins merge in `change`/`install` would then discard
-    /// the write the sequencing point committed last.
-    fn context_params(&mut self) -> Copy {
-        if let Some(p) = &self.env.params {
-            return p.clone();
-        }
-        if self.env.msg.initiator == self.me {
-            if let Some(p) = self.pending.as_mut().and_then(|p| p.data.as_mut()) {
-                if p.version == 0 {
-                    p.version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
-                }
-                return p.clone();
-            }
-        }
-        panic!(
-            "node {}: no write parameters in scope for {:?}",
-            self.me, self.env.msg.kind
-        );
-    }
-}
-
-impl Actions for NodeHost<'_> {
-    fn me(&self) -> NodeId {
-        self.me
-    }
-    fn home(&self) -> NodeId {
-        self.sys.home()
-    }
-    fn n_nodes(&self) -> usize {
-        self.sys.n_nodes()
-    }
-    fn owner(&self) -> NodeId {
-        self.proc_.owner
-    }
-    fn set_owner(&mut self, owner: NodeId) {
-        self.proc_.owner = owner;
-    }
-    fn push(&mut self, dest: Dest, kind: MsgKind, payload: PayloadKind) {
-        let params = match payload {
-            PayloadKind::Params => Some(self.context_params()),
-            _ => None,
-        };
-        let copy = match payload {
-            PayloadKind::Copy => Some(self.proc_.copy.clone()),
-            _ => None,
-        };
-        let receivers: Vec<NodeId> = match dest {
-            Dest::To(n) => vec![n],
-            Dest::AllExcept(a, b) => (0..self.sys.n_nodes() as u16)
-                .map(NodeId)
-                .filter(|&n| n != a && Some(n) != b)
-                .collect(),
-        };
-        for r in receivers {
-            if r != self.me {
-                self.cost
-                    .fetch_add(self.sys.msg_cost(payload), Ordering::Relaxed);
-                self.messages.fetch_add(1, Ordering::Relaxed);
-            }
-            let msg = Msg {
-                kind,
-                initiator: self.env.msg.initiator,
-                sender: self.me,
-                object: self.env.msg.object,
-                queue: QueueKind::Distributed,
-                payload,
-                op: self.env.msg.op,
-            };
-            let env = Envelope {
-                msg,
-                params: params.clone(),
-                copy: copy.clone(),
-            };
-            // A dropped peer only happens during shutdown.
-            let _ = self.peers[r.idx()].send(Wire::Net(env));
-        }
-    }
-    fn change(&mut self) {
-        let p = self.context_params();
-        if p.version >= self.proc_.copy.version {
-            self.proc_.copy = p;
-        }
-    }
-    fn install(&mut self) {
-        let incoming = self.env.copy.clone().expect("install without copy payload");
-        if incoming.version >= self.proc_.copy.version {
-            self.proc_.copy = incoming;
-        }
-    }
-    fn ret(&mut self) {
-        *self.returned = true;
-    }
-    fn disable_local(&mut self) {
-        if let Some(p) = self.pending.as_mut() {
-            p.blocked = true;
-        }
-    }
-    fn enable_local(&mut self) {
-        *self.enabled = true;
-    }
-    fn pending_op(&self) -> Option<OpKind> {
-        self.pending.as_ref().map(|p| p.op)
-    }
-}
-
-impl NodeCtx {
-    fn proc_index(&self, object: ObjectId) -> usize {
-        object.idx()
-    }
-
-    /// Run one machine step; returns (returned, enabled) completion flags.
-    fn step(&mut self, env: &Envelope) -> (bool, bool) {
-        let proto = protocol(self.kind);
-        let idx = self.proc_index(env.msg.object);
-        let state = self.procs[idx].state;
-        let mut returned = false;
-        let mut enabled = false;
-        let next = {
-            let mut host = NodeHost {
-                me: self.me,
-                sys: self.sys,
-                peers: &self.peers,
-                proc_: &mut self.procs[idx],
-                pending: &mut self.pending,
-                env,
-                cost: &self.cost,
-                messages: &self.messages,
-                versions: &self.versions,
-                returned: &mut returned,
-                enabled: &mut enabled,
-            };
-            proto.step(&mut host, state, &env.msg)
-        };
-        self.procs[idx].state = next;
-        (returned, enabled)
-    }
-
-    fn handle_env(&mut self, env: Envelope) {
-        let (returned, enabled) = self.step(&env);
-        self.complete_if_done(returned, enabled, env.msg.op);
-    }
-
-    fn complete_if_done(&mut self, returned: bool, enabled: bool, tag: OpTag) {
-        let Some(p) = self.pending.as_ref() else {
-            return;
-        };
-        if p.tag != tag {
-            return;
-        }
-        let done = match p.op {
-            OpKind::Read => returned,
-            OpKind::Write => enabled || !p.blocked,
-        };
-        if done {
-            let p = self.pending.take().expect("checked above");
-            let value = self.procs[self.proc_index(p.object)].copy.data.clone();
-            let _ = p.reply.send(value);
-        }
-    }
-
-    fn handle_app(&mut self, req: AppReq, tag: OpTag) {
-        assert!(
-            self.pending.is_none(),
-            "node {}: one operation at a time",
-            self.me
-        );
-        let is_home = self.me == self.sys.home();
-        let kind = match req.op {
-            OpKind::Read => MsgKind::RReq,
-            OpKind::Write => MsgKind::WReq,
-        };
-        let msg = Msg::app_request(kind, self.me, is_home, req.object, tag);
-        // Version 0 is the "unstamped" placeholder; the real version is
-        // assigned by `context_params` when the write first materializes.
-        let data = req.data.map(|d| Copy {
-            data: d,
-            version: 0,
-        });
-        self.pending = Some(PendingApp {
-            op: req.op,
-            object: req.object,
-            tag,
-            data,
-            reply: req.reply,
-            blocked: false,
-        });
-        let env = Envelope {
-            msg,
-            params: None,
-            copy: None,
-        };
-        let (returned, enabled) = self.step(&env);
-        self.complete_if_done(returned, enabled, tag);
-    }
-}
-
-/// A running DSM cluster of `N+1` node threads.
+/// A running DSM cluster of `N+1` node threads over a pluggable
+/// transport.
 pub struct Cluster {
     sys: SystemParams,
     txs: Vec<Sender<Wire>>,
-    threads: Vec<JoinHandle<Vec<(CopyState, Bytes, u64)>>>,
+    threads: Vec<JoinHandle<()>>,
+    done_rx: Receiver<(NodeId, Vec<ReplicaSnap>)>,
     cost: Arc<AtomicU64>,
     messages: Arc<AtomicU64>,
     next_tag: Arc<AtomicU64>,
-    dump: Mutex<Option<ClusterDump>>,
+    poison: Arc<Mutex<Option<ClusterError>>>,
+    meter: Option<MeterHandle>,
 }
 
 /// Final per-node replica snapshot returned by [`Cluster::shutdown`].
 #[derive(Debug, Clone)]
 pub struct ClusterDump {
-    /// `copies[node][object] = (state, data, version)`.
-    pub copies: Vec<Vec<(CopyState, Bytes, u64)>>,
+    /// `copies[node][object]`.
+    pub copies: Vec<Vec<ReplicaSnap>>,
 }
 
 impl ClusterDump {
@@ -322,10 +42,15 @@ impl ClusterDump {
     pub fn is_coherent(&self) -> bool {
         let objects = self.copies.first().map_or(0, Vec::len);
         for obj in 0..objects {
-            let latest = self.copies.iter().map(|n| n[obj].2).max().unwrap_or(0);
+            let latest = self
+                .copies
+                .iter()
+                .map(|n| n[obj].stamp())
+                .max()
+                .unwrap_or((0, NodeId(0)));
             for node in &self.copies {
-                let (state, _, version) = &node[obj];
-                if state.readable() && *version != latest {
+                let replica = &node[obj];
+                if replica.state.readable() && replica.stamp() != latest {
                     return false;
                 }
             }
@@ -340,48 +65,80 @@ pub struct Handle {
     node: NodeId,
     tx: Sender<Wire>,
     next_tag: Arc<AtomicU64>,
+    poison: Arc<Mutex<Option<ClusterError>>>,
 }
 
 impl Handle {
     /// Read the shared object through this node's replica (blocking).
-    pub fn read(&self, object: ObjectId) -> Bytes {
+    pub fn read(&self, object: ObjectId) -> Result<Bytes, ClusterError> {
         self.request(OpKind::Read, object, None)
     }
 
     /// Write the shared object (blocking until the protocol considers the
     /// operation issued; fire-and-forget protocols return as soon as the
     /// write is on the wire).
-    pub fn write(&self, object: ObjectId, data: Bytes) {
-        self.request(OpKind::Write, object, Some(data));
+    pub fn write(&self, object: ObjectId, data: Bytes) -> Result<(), ClusterError> {
+        self.request(OpKind::Write, object, Some(data)).map(|_| ())
     }
 
-    fn request(&self, op: OpKind, object: ObjectId, data: Option<Bytes>) -> Bytes {
+    fn request(
+        &self,
+        op: OpKind,
+        object: ObjectId,
+        data: Option<Bytes>,
+    ) -> Result<Bytes, ClusterError> {
+        if let Some(e) = poison_get(&self.poison) {
+            return Err(e);
+        }
         let (reply_tx, reply_rx) = sync_channel(1);
         let tag = OpTag(self.next_tag.fetch_add(1, Ordering::Relaxed));
-        self.tx
-            .send(Wire::Local(
-                AppReq {
-                    op,
-                    object,
-                    data,
-                    reply: reply_tx,
-                },
-                tag,
-            ))
-            .unwrap_or_else(|_| panic!("node {} is shut down", self.node));
-        reply_rx
-            .recv()
-            .unwrap_or_else(|_| panic!("node {} dropped a request", self.node))
+        let req = AppReq {
+            op,
+            object,
+            data,
+            reply: reply_tx,
+        };
+        // A send or recv failure means the node loop is gone: either it
+        // poisoned the cluster (report why) or it was shut down.
+        if self.tx.send(Wire::Local(req, tag)).is_err() {
+            return Err(poison_get(&self.poison).unwrap_or(ClusterError::NodeDown(self.node)));
+        }
+        match reply_rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(poison_get(&self.poison).unwrap_or(ClusterError::NodeDown(self.node))),
+        }
     }
 }
 
 impl Cluster {
-    /// Spawn the `N+1` node threads.
+    /// Spawn the `N+1` node threads over the in-process transport.
     pub fn new(sys: SystemParams, kind: ProtocolKind) -> Cluster {
+        Cluster::with_transport(sys, kind, InProcTransport::new(sys.n_nodes()))
+            .expect("in-process transport cannot fail to bind")
+    }
+
+    /// Spawn the `N+1` node threads over an arbitrary transport.
+    ///
+    /// The transport decides the version-clock flavour: in-process
+    /// backends share one global counter, socket backends run a Lamport
+    /// clock per node (see `VersionClock` in the node module).
+    pub fn with_transport(
+        sys: SystemParams,
+        kind: ProtocolKind,
+        mut transport: impl Transport,
+    ) -> Result<Cluster, ClusterError> {
         let n = sys.n_nodes();
+        if transport.n_nodes() != n {
+            return Err(ClusterError::Transport(format!(
+                "transport wires {} nodes but the system has {n}",
+                transport.n_nodes()
+            )));
+        }
         let cost = Arc::new(AtomicU64::new(0));
         let messages = Arc::new(AtomicU64::new(0));
         let versions = Arc::new(AtomicU64::new(0));
+        let poison: Arc<Mutex<Option<ClusterError>>> = Arc::new(Mutex::new(None));
+        let meter = transport.meter();
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -389,53 +146,47 @@ impl Cluster {
             txs.push(tx);
             rxs.push(rx);
         }
+        let (done_tx, done_rx) = channel();
         let mut threads = Vec::with_capacity(n);
-        let proto = protocol(kind);
         for (i, rx) in rxs.into_iter().enumerate() {
             let me = NodeId(i as u16);
-            let role = if me == sys.home() {
-                Role::Sequencer
-            } else {
-                Role::Client
-            };
-            let procs: Vec<Proc> = (0..sys.m_objects)
-                .map(|_| Proc {
-                    state: proto.initial_state(role),
-                    owner: sys.home(),
-                    copy: Copy {
-                        data: Bytes::new(),
-                        version: 0,
-                    },
-                })
-                .collect();
-            let mut ctx = NodeCtx {
+            let net_tx = txs[i].clone();
+            let endpoint = transport
+                .bind(
+                    me,
+                    Box::new(move |env| {
+                        let _ = net_tx.send(Wire::Net(env));
+                    }),
+                )
+                .map_err(|e| ClusterError::Transport(e.to_string()))?;
+            let ctx = NodeCtx::new(
                 me,
                 sys,
                 kind,
-                peers: txs.clone(),
-                procs,
-                pending: None,
-                cost: Arc::clone(&cost),
-                messages: Arc::clone(&messages),
-                versions: Arc::clone(&versions),
-            };
+                endpoint,
+                Arc::clone(&cost),
+                Arc::clone(&messages),
+                VersionClock::Shared(Arc::clone(&versions)),
+                Arc::clone(&poison),
+            );
+            let done_tx = done_tx.clone();
             threads.push(std::thread::spawn(move || {
-                node_loop(&mut ctx, rx);
-                ctx.procs
-                    .into_iter()
-                    .map(|p| (p.state, p.copy.data, p.copy.version))
-                    .collect()
+                let (snap, endpoint) = node_loop(ctx, rx);
+                let _ = done_tx.send((me, snap));
+                endpoint.close();
             }));
         }
-        Cluster {
+        Ok(Cluster {
             sys,
             txs,
             threads,
+            done_rx,
             cost,
             messages,
             next_tag: Arc::new(AtomicU64::new(1)),
-            dump: Mutex::new(None),
-        }
+            poison,
+            meter,
+        })
     }
 
     /// An application handle bound to `node`.
@@ -445,6 +196,7 @@ impl Cluster {
             node,
             tx: self.txs[node.idx()].clone(),
             next_tag: Arc::clone(&self.next_tag),
+            poison: Arc::clone(&self.poison),
         }
     }
 
@@ -463,53 +215,74 @@ impl Cluster {
         self.sys
     }
 
-    /// Stop all node threads and return the final replica snapshot.
-    pub fn shutdown(mut self) -> ClusterDump {
-        // Give in-flight fire-and-forget cascades a moment to drain: the
-        // channels are FIFO, so a Stop behind them is processed last.
+    /// The first error that poisoned this cluster, if any.
+    pub fn poisoned(&self) -> Option<ClusterError> {
+        poison_get(&self.poison)
+    }
+
+    /// Per-link traffic meter, when the transport stack contains a
+    /// `MeteredTransport` layer.
+    pub fn meter(&self) -> Option<&MeterHandle> {
+        self.meter.as_ref()
+    }
+
+    /// Stop all node threads and return the final replica snapshot,
+    /// waiting up to [`DEFAULT_STOP_DEADLINE`] for them to exit.
+    pub fn shutdown(self) -> Result<ClusterDump, ClusterError> {
+        self.shutdown_within(DEFAULT_STOP_DEADLINE)
+    }
+
+    /// Stop all node threads, joining them with a deadline. If some
+    /// node fails to exit in time, the stragglers are reported by id in
+    /// [`ClusterError::StopTimeout`] (and left detached). A poisoned
+    /// cluster shuts down cleanly but reports the poison error.
+    pub fn shutdown_within(mut self, deadline: Duration) -> Result<ClusterDump, ClusterError> {
+        // The channels are FIFO, so a Stop behind in-flight
+        // fire-and-forget cascades is processed after they drain.
         for tx in &self.txs {
             let _ = tx.send(Wire::Stop);
         }
-        let copies: Vec<_> = self
-            .threads
-            .drain(..)
-            .map(|t| t.join().expect("node thread panicked"))
-            .collect();
-        let dump = ClusterDump { copies };
-        *self.dump.lock() = Some(dump.clone());
-        dump
-    }
-}
-
-fn node_loop(ctx: &mut NodeCtx, rx: Receiver<Wire>) {
-    // Local requests waiting to start, in arrival order. A node runs one
-    // application operation at a time; the backlog preserves that
-    // invariant without a second channel.
-    let mut backlog: VecDeque<(AppReq, OpTag)> = VecDeque::new();
-    loop {
-        // Distributed messages take priority (global sequencing): drain
-        // everything already queued before starting a local request.
-        loop {
-            match rx.try_recv() {
-                Ok(Wire::Net(env)) => ctx.handle_env(env),
-                Ok(Wire::Local(req, tag)) => backlog.push_back((req, tag)),
-                Ok(Wire::Stop) => return,
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => return,
+        let n = self.sys.n_nodes();
+        let mut copies: Vec<Option<Vec<ReplicaSnap>>> = (0..n).map(|_| None).collect();
+        let end = Instant::now() + deadline;
+        let mut got = 0;
+        while got < n {
+            let left = end.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.done_rx.recv_timeout(left) {
+                Ok((node, snap)) => {
+                    if copies[node.idx()].replace(snap).is_none() {
+                        got += 1;
+                    }
+                }
+                Err(_) => break,
             }
         }
-        // Start the next local request only when none is in flight.
-        if ctx.pending.is_none() {
-            if let Some((req, tag)) = backlog.pop_front() {
-                ctx.handle_app(req, tag);
-                continue;
-            }
+        if got < n {
+            let stragglers = copies
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_none())
+                .map(|(i, _)| NodeId(i as u16))
+                .collect();
+            let err = ClusterError::StopTimeout { stragglers };
+            poison_set(&self.poison, err.clone());
+            // Leave the straggling threads detached: joining would hang.
+            self.threads.clear();
+            return Err(err);
         }
-        match rx.recv() {
-            Ok(Wire::Net(env)) => ctx.handle_env(env),
-            Ok(Wire::Local(req, tag)) => backlog.push_back((req, tag)),
-            Ok(Wire::Stop) | Err(_) => return,
+        // Every node reported its snapshot, so joins complete promptly.
+        for t in self.threads.drain(..) {
+            let _ = t.join();
         }
+        if let Some(e) = poison_get(&self.poison) {
+            return Err(e);
+        }
+        Ok(ClusterDump {
+            copies: copies.into_iter().map(|c| c.expect("counted")).collect(),
+        })
     }
 }
 
@@ -533,10 +306,10 @@ mod tests {
             for node in [NodeId(0), NodeId(2), sys().home()] {
                 let h = cluster.handle(node);
                 let payload = Bytes::from(format!("{kind:?}@{node}"));
-                h.write(ObjectId(1), payload.clone());
-                assert_eq!(h.read(ObjectId(1)), payload, "{kind:?} at {node}");
+                h.write(ObjectId(1), payload.clone()).unwrap();
+                assert_eq!(h.read(ObjectId(1)).unwrap(), payload, "{kind:?} at {node}");
             }
-            cluster.shutdown();
+            cluster.shutdown().unwrap();
         }
     }
 
@@ -546,21 +319,23 @@ mod tests {
             let cluster = Cluster::new(sys(), kind);
             let writer = cluster.handle(NodeId(0));
             let reader = cluster.handle(NodeId(3));
-            writer.write(ObjectId(2), Bytes::from_static(b"shared"));
+            writer
+                .write(ObjectId(2), Bytes::from_static(b"shared"))
+                .unwrap();
             // Blocking write + blocking read through the sequencer gives
             // the reader the new value for every protocol in a quiet
             // system... modulo in-flight invalidations for the
             // fire-and-forget write protocols, so retry briefly.
-            let mut seen = reader.read(ObjectId(2));
+            let mut seen = reader.read(ObjectId(2)).unwrap();
             for _ in 0..100 {
                 if &seen[..] == b"shared" {
                     break;
                 }
                 std::thread::sleep(std::time::Duration::from_millis(1));
-                seen = reader.read(ObjectId(2));
+                seen = reader.read(ObjectId(2)).unwrap();
             }
             assert_eq!(&seen[..], b"shared", "{kind:?}");
-            cluster.shutdown();
+            cluster.shutdown().unwrap();
         }
     }
 
@@ -569,17 +344,17 @@ mod tests {
         let sys = sys();
         let cluster = Cluster::new(sys, ProtocolKind::WriteThrough);
         let h = cluster.handle(NodeId(0));
-        h.write(ObjectId(0), Bytes::from_static(b"x")); // P+N
-                                                        // Wait for the invalidation wave to drain before reading.
+        h.write(ObjectId(0), Bytes::from_static(b"x")).unwrap(); // P+N
+                                                                 // Wait for the invalidation wave to drain before reading.
         std::thread::sleep(std::time::Duration::from_millis(20));
         let base = cluster.total_cost();
         assert_eq!(base, sys.p + sys.n_clients as u64);
-        h.read(ObjectId(0)); // own copy INVALID -> S+2
+        h.read(ObjectId(0)).unwrap(); // own copy INVALID -> S+2
         let after = cluster.total_cost();
         assert_eq!(after - base, sys.s + 2);
-        h.read(ObjectId(0)); // now VALID -> free
+        h.read(ObjectId(0)).unwrap(); // now VALID -> free
         assert_eq!(cluster.total_cost(), after);
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
 
     #[test]
@@ -595,9 +370,10 @@ mod tests {
                         for round in 0..25u64 {
                             let obj = ObjectId(((i as u64 + round) % 4) as u32);
                             if (round + i as u64).is_multiple_of(3) {
-                                h.write(obj, Bytes::from(round.to_le_bytes().to_vec()));
+                                h.write(obj, Bytes::from(round.to_le_bytes().to_vec()))
+                                    .unwrap();
                             } else {
-                                let _ = h.read(obj);
+                                let _ = h.read(obj).unwrap();
                             }
                         }
                     })
@@ -608,7 +384,7 @@ mod tests {
             }
             // Let in-flight cascades drain before stopping.
             std::thread::sleep(std::time::Duration::from_millis(30));
-            let dump = cluster.shutdown();
+            let dump = cluster.shutdown().unwrap();
             assert!(dump.is_coherent(), "{kind:?}: replicas diverged");
         }
     }
@@ -621,8 +397,9 @@ mod tests {
                 let h = cluster.handle(NodeId(i));
                 std::thread::spawn(move || {
                     for r in 0..50u64 {
-                        h.write(ObjectId(0), Bytes::from(vec![i as u8, r as u8]));
-                        let _ = h.read(ObjectId(0));
+                        h.write(ObjectId(0), Bytes::from(vec![i as u8, r as u8]))
+                            .unwrap();
+                        let _ = h.read(ObjectId(0)).unwrap();
                     }
                 })
             })
@@ -631,6 +408,24 @@ mod tests {
             t.join().unwrap();
         }
         assert!(cluster.total_messages() > 0);
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn bad_operation_poisons_instead_of_hanging() {
+        let cluster = Cluster::new(sys(), ProtocolKind::WriteThrough);
+        let h = cluster.handle(NodeId(1));
+        // An operation on an object the cluster does not have is the
+        // simplest API-reachable trigger of the node-loop error path.
+        let bad = ObjectId(sys().m_objects as u32 + 7);
+        let err = h.write(bad, Bytes::from_static(b"boom")).unwrap_err();
+        assert!(matches!(err, ClusterError::Poisoned { .. }), "{err}");
+        // Every subsequent operation fails fast with the same poison...
+        let err2 = cluster.handle(NodeId(0)).read(ObjectId(0)).unwrap_err();
+        assert!(matches!(err2, ClusterError::Poisoned { .. }), "{err2}");
+        assert!(cluster.poisoned().is_some());
+        // ...and shutdown reports the poison instead of hanging.
+        let res = cluster.shutdown();
+        assert!(matches!(res, Err(ClusterError::Poisoned { .. })));
     }
 }

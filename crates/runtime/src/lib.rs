@@ -1,9 +1,17 @@
 //! # repmem-runtime
 //!
-//! A threaded, in-process realization of the replication-based DSM: every
-//! node of the paper's §2 system is an OS thread, channels are crossbeam
-//! FIFO channels, and the protocol processes run the *same* Mealy
-//! machines as the analytic model and the simulator.
+//! A threaded realization of the replication-based DSM: every node of
+//! the paper's §2 system runs the *same* Mealy protocol machines as the
+//! analytic model and the simulator, connected by a pluggable
+//! [`repmem_net::Transport`]:
+//!
+//! * [`Cluster::new`] — all `N+1` nodes as threads of one process over
+//!   the in-process transport (the original mpsc path).
+//! * [`Cluster::with_transport`] — any transport: metered, delayed, or
+//!   TCP-loopback meshes plug in without touching the node loop.
+//! * [`remote`] — one node per OS process over TCP: the `repmem-node`
+//!   binary serves a node, [`remote::RemoteCluster`] launches and
+//!   drives a full cluster of them.
 //!
 //! ```no_run
 //! use repmem_runtime::Cluster;
@@ -12,10 +20,10 @@
 //! let sys = SystemParams { n_clients: 4, s: 64, p: 16, m_objects: 8 };
 //! let cluster = Cluster::new(sys, ProtocolKind::Berkeley);
 //! let h = cluster.handle(NodeId(0));
-//! h.write(ObjectId(3), b"hello".as_ref().into());
-//! assert_eq!(&h.read(ObjectId(3))[..], b"hello");
+//! h.write(ObjectId(3), b"hello".as_ref().into()).unwrap();
+//! assert_eq!(&h.read(ObjectId(3)).unwrap()[..], b"hello");
 //! println!("communication cost so far: {}", cluster.total_cost());
-//! cluster.shutdown();
+//! cluster.shutdown().unwrap();
 //! ```
 //!
 //! The model's abstract cost units are metered exactly as in the
@@ -26,5 +34,8 @@
 //! integration tests).
 
 pub mod cluster;
+mod node;
+pub mod remote;
 
-pub use cluster::{Cluster, ClusterDump, Handle};
+pub use cluster::{Cluster, ClusterDump, Handle, DEFAULT_STOP_DEADLINE};
+pub use node::{ClusterError, ReplicaSnap};

@@ -1,0 +1,578 @@
+//! The node loop: one protocol process pumping envelopes from a
+//! transport endpoint and operations from its local application queue.
+//!
+//! This module is transport-agnostic and shared by the two cluster
+//! shapes: [`crate::Cluster`] (all nodes as threads of one process, any
+//! [`Transport`] backend) and [`crate::remote`] (one node per OS process
+//! over `TcpEndpoint`).
+//!
+//! [`Transport`]: repmem_net::Transport
+
+use bytes::Bytes;
+use repmem_core::{
+    Actions, CopyState, Dest, Msg, MsgKind, NodeId, ObjectId, OpKind, OpTag, PayloadKind,
+    ProtocolKind, QueueKind, SystemParams,
+};
+use repmem_net::{Endpoint, Envelope, Payload};
+use repmem_protocols::protocol;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+
+/// Errors surfaced by the cluster API instead of panics or hangs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A node's protocol process hit an unrecoverable condition; the
+    /// cluster is poisoned and every subsequent operation fails fast.
+    Poisoned {
+        /// The node that poisoned the cluster.
+        node: NodeId,
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+    /// The target node's loop is gone (shut down or crashed).
+    NodeDown(NodeId),
+    /// `shutdown` gave up waiting on node threads that never exited.
+    StopTimeout {
+        /// Nodes that failed to stop within the deadline.
+        stragglers: Vec<NodeId>,
+    },
+    /// Transport-level failure while wiring or running the cluster.
+    Transport(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Poisoned { node, reason } => {
+                write!(f, "cluster poisoned by {node}: {reason}")
+            }
+            ClusterError::NodeDown(node) => write!(f, "{node} is not running"),
+            ClusterError::StopTimeout { stragglers } => {
+                write!(f, "shutdown deadline expired; straggling nodes: ")?;
+                for (i, n) in stragglers.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+            ClusterError::Transport(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// First-error-wins poison cell shared by every node of a cluster.
+pub(crate) type Poison = Arc<Mutex<Option<ClusterError>>>;
+
+pub(crate) fn poison_get(poison: &Poison) -> Option<ClusterError> {
+    poison.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+pub(crate) fn poison_set(poison: &Poison, err: ClusterError) {
+    let mut g = poison.lock().unwrap_or_else(|e| e.into_inner());
+    if g.is_none() {
+        *g = Some(err);
+    }
+}
+
+/// Write-version stamp source.
+///
+/// Versions must agree with the protocol's serialization order (see
+/// [`NodeHost::context_params`]); the two variants realize that with and
+/// without shared memory:
+///
+/// * `Shared` — one cluster-global counter (all nodes in one process):
+///   every stamp is unique and totally ordered.
+/// * `Lamport` — a per-process counter pushed forward by the clock value
+///   piggybacked on every incoming envelope: a node's stamp always
+///   exceeds every write it has heard about. Concurrent unrelated
+///   writes may tie on the counter, so the merge key is the pair
+///   `(version, writer)`.
+pub(crate) enum VersionClock {
+    Shared(Arc<AtomicU64>),
+    Lamport(AtomicU64),
+}
+
+impl VersionClock {
+    fn observe(&self, seen: u64) {
+        if let VersionClock::Lamport(c) = self {
+            c.fetch_max(seen, Ordering::Relaxed);
+        }
+    }
+
+    fn next(&self) -> u64 {
+        match self {
+            VersionClock::Shared(c) => c.fetch_add(1, Ordering::Relaxed) + 1,
+            VersionClock::Lamport(c) => c.fetch_add(1, Ordering::Relaxed) + 1,
+        }
+    }
+
+    fn now(&self) -> u64 {
+        match self {
+            VersionClock::Shared(c) => c.load(Ordering::Relaxed),
+            VersionClock::Lamport(c) => c.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything a node loop can receive on its single merged inbox.
+///
+/// Merging the distributed and local queues into one FIFO channel keeps
+/// the node loop on `std::sync::mpsc` (no `select!` needed): local
+/// requests that arrive while an operation is in flight are parked in a
+/// backlog and started as soon as the node is free again.
+pub(crate) enum Wire {
+    Net(Envelope),
+    Local(AppReq, OpTag),
+    Stop,
+}
+
+/// An application request delivered to the local protocol process.
+pub(crate) struct AppReq {
+    pub op: OpKind,
+    pub object: ObjectId,
+    pub data: Option<Bytes>,
+    pub reply: SyncSender<Result<Bytes, ClusterError>>,
+}
+
+/// Per-(node, object) protocol-process state.
+pub(crate) struct Proc {
+    pub state: CopyState,
+    pub owner: NodeId,
+    pub copy: Payload,
+}
+
+/// Final state of one replica, reported at node exit.
+#[derive(Debug, Clone)]
+pub struct ReplicaSnap {
+    /// Protocol state the replica stopped in.
+    pub state: CopyState,
+    /// The replica's data.
+    pub data: Bytes,
+    /// Stamp-order version of the data.
+    pub version: u64,
+    /// Node whose write produced the data.
+    pub writer: NodeId,
+}
+
+impl ReplicaSnap {
+    /// The totally-ordered write id of this replica's data.
+    pub fn stamp(&self) -> (u64, NodeId) {
+        (self.version, self.writer)
+    }
+}
+
+/// The in-flight application operation at a node.
+struct PendingApp {
+    op: OpKind,
+    object: ObjectId,
+    tag: OpTag,
+    data: Option<Payload>,
+    reply: SyncSender<Result<Bytes, ClusterError>>,
+    /// `true` once the protocol requires a response before completion.
+    blocked: bool,
+}
+
+pub(crate) struct NodeCtx {
+    pub me: NodeId,
+    pub sys: SystemParams,
+    pub kind: ProtocolKind,
+    pub endpoint: Box<dyn Endpoint>,
+    pub procs: Vec<Proc>,
+    pub cost: Arc<AtomicU64>,
+    pub messages: Arc<AtomicU64>,
+    pub clock: VersionClock,
+    pub poison: Poison,
+    pending: Option<PendingApp>,
+}
+
+impl NodeCtx {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: NodeId,
+        sys: SystemParams,
+        kind: ProtocolKind,
+        endpoint: Box<dyn Endpoint>,
+        cost: Arc<AtomicU64>,
+        messages: Arc<AtomicU64>,
+        clock: VersionClock,
+        poison: Poison,
+    ) -> NodeCtx {
+        let proto = protocol(kind);
+        let role = if me == sys.home() {
+            repmem_core::Role::Sequencer
+        } else {
+            repmem_core::Role::Client
+        };
+        let procs = (0..sys.m_objects)
+            .map(|_| Proc {
+                state: proto.initial_state(role),
+                owner: sys.home(),
+                copy: Payload::initial(),
+            })
+            .collect();
+        NodeCtx {
+            me,
+            sys,
+            kind,
+            endpoint,
+            procs,
+            cost,
+            messages,
+            clock,
+            poison,
+            pending: None,
+        }
+    }
+}
+
+struct NodeHost<'a> {
+    me: NodeId,
+    sys: SystemParams,
+    endpoint: &'a dyn Endpoint,
+    proc_: &'a mut Proc,
+    pending: &'a mut Option<PendingApp>,
+    env: &'a Envelope,
+    cost: &'a AtomicU64,
+    messages: &'a AtomicU64,
+    clock: &'a VersionClock,
+    /// First unrecoverable condition hit during this step, if any.
+    error: Option<String>,
+    /// Set when `ret` fires (read completion).
+    returned: bool,
+    /// Set when `enable_local` fires (blocked-write completion).
+    enabled: bool,
+}
+
+impl NodeHost<'_> {
+    fn fail(&mut self, reason: String) {
+        if self.error.is_none() {
+            self.error = Some(reason);
+        }
+    }
+
+    /// The write parameters in scope for the current step: either carried
+    /// by the envelope or, at the initiator, the pending operation's data.
+    ///
+    /// Versions are stamped *here*, at the first materialization of the
+    /// parameters (i.e. when the write is applied or shipped), from the
+    /// version clock. Stamping at request time instead would let the
+    /// version order disagree with the protocol's serialization order
+    /// (a later-granted write could carry an earlier stamp), and the
+    /// last-writer-wins merge in `change`/`install` would then discard
+    /// the write the sequencing point committed last.
+    fn context_params(&mut self) -> Payload {
+        if let Some(p) = &self.env.params {
+            return p.clone();
+        }
+        if self.env.msg.initiator == self.me {
+            if let Some(p) = self.pending.as_mut().and_then(|p| p.data.as_mut()) {
+                if p.version == 0 {
+                    p.version = self.clock.next();
+                }
+                return p.clone();
+            }
+        }
+        self.fail(format!(
+            "no write parameters in scope for {:?} (initiator {}, sender {})",
+            self.env.msg.kind, self.env.msg.initiator, self.env.msg.sender
+        ));
+        Payload::initial()
+    }
+}
+
+impl Actions for NodeHost<'_> {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn home(&self) -> NodeId {
+        self.sys.home()
+    }
+    fn n_nodes(&self) -> usize {
+        self.sys.n_nodes()
+    }
+    fn owner(&self) -> NodeId {
+        self.proc_.owner
+    }
+    fn set_owner(&mut self, owner: NodeId) {
+        self.proc_.owner = owner;
+    }
+    fn push(&mut self, dest: Dest, kind: MsgKind, payload: PayloadKind) {
+        let params = match payload {
+            PayloadKind::Params => Some(self.context_params()),
+            _ => None,
+        };
+        let copy = match payload {
+            PayloadKind::Copy => Some(self.proc_.copy.clone()),
+            _ => None,
+        };
+        if self.error.is_some() {
+            return;
+        }
+        let receivers: Vec<NodeId> = match dest {
+            Dest::To(n) => vec![n],
+            Dest::AllExcept(a, b) => (0..self.sys.n_nodes() as u16)
+                .map(NodeId)
+                .filter(|&n| n != a && Some(n) != b)
+                .collect(),
+        };
+        for r in receivers {
+            if r != self.me {
+                self.cost
+                    .fetch_add(self.sys.msg_cost(payload), Ordering::Relaxed);
+                self.messages.fetch_add(1, Ordering::Relaxed);
+            }
+            let msg = Msg {
+                kind,
+                initiator: self.env.msg.initiator,
+                sender: self.me,
+                object: self.env.msg.object,
+                queue: QueueKind::Distributed,
+                payload,
+                op: self.env.msg.op,
+            };
+            let env = Envelope {
+                msg,
+                params: params.clone(),
+                copy: copy.clone(),
+                clock: self.clock.now(),
+            };
+            if let Err(e) = self.endpoint.send(r, &env) {
+                // A closed peer during shutdown is routine; anything
+                // else poisons the cluster.
+                if !matches!(e, repmem_net::NetError::Closed(_)) {
+                    self.fail(format!("send {:?} to {r} failed: {e}", kind));
+                }
+            }
+        }
+    }
+    fn change(&mut self) {
+        let p = self.context_params();
+        if self.error.is_some() {
+            return;
+        }
+        if p.stamp() >= self.proc_.copy.stamp() {
+            self.proc_.copy = p;
+        }
+    }
+    fn install(&mut self) {
+        let Some(incoming) = self.env.copy.clone() else {
+            self.fail(format!(
+                "install without copy payload on {:?} from {}",
+                self.env.msg.kind, self.env.msg.sender
+            ));
+            return;
+        };
+        if incoming.stamp() >= self.proc_.copy.stamp() {
+            self.proc_.copy = incoming;
+        }
+    }
+    fn ret(&mut self) {
+        self.returned = true;
+    }
+    fn disable_local(&mut self) {
+        if let Some(p) = self.pending.as_mut() {
+            p.blocked = true;
+        }
+    }
+    fn enable_local(&mut self) {
+        self.enabled = true;
+    }
+    fn pending_op(&self) -> Option<OpKind> {
+        self.pending.as_ref().map(|p| p.op)
+    }
+}
+
+impl NodeCtx {
+    fn proc_index(&self, object: ObjectId) -> usize {
+        object.idx()
+    }
+
+    /// Run one machine step; returns (returned, enabled) completion
+    /// flags or the reason this node must poison the cluster.
+    fn step(&mut self, env: &Envelope) -> Result<(bool, bool), String> {
+        let proto = protocol(self.kind);
+        let idx = self.proc_index(env.msg.object);
+        if idx >= self.procs.len() {
+            return Err(format!(
+                "message for out-of-range {} (cluster has {} objects)",
+                env.msg.object, self.sys.m_objects
+            ));
+        }
+        let state = self.procs[idx].state;
+        let mut host = NodeHost {
+            me: self.me,
+            sys: self.sys,
+            endpoint: self.endpoint.as_ref(),
+            proc_: &mut self.procs[idx],
+            pending: &mut self.pending,
+            env,
+            cost: &self.cost,
+            messages: &self.messages,
+            clock: &self.clock,
+            error: None,
+            returned: false,
+            enabled: false,
+        };
+        let next = proto.step(&mut host, state, &env.msg);
+        let (returned, enabled, error) = (host.returned, host.enabled, host.error);
+        if let Some(reason) = error {
+            return Err(reason);
+        }
+        self.procs[idx].state = next;
+        Ok((returned, enabled))
+    }
+
+    fn handle_env(&mut self, env: Envelope) -> Result<(), String> {
+        self.clock.observe(env.clock);
+        if let Some(p) = &env.params {
+            self.clock.observe(p.version);
+        }
+        if let Some(c) = &env.copy {
+            self.clock.observe(c.version);
+        }
+        let (returned, enabled) = self.step(&env)?;
+        self.complete_if_done(returned, enabled, env.msg.op);
+        Ok(())
+    }
+
+    fn complete_if_done(&mut self, returned: bool, enabled: bool, tag: OpTag) {
+        let Some(p) = self.pending.as_ref() else {
+            return;
+        };
+        if p.tag != tag {
+            return;
+        }
+        let done = match p.op {
+            OpKind::Read => returned,
+            OpKind::Write => enabled || !p.blocked,
+        };
+        if done {
+            let p = self.pending.take().expect("checked above");
+            let value = self.procs[self.proc_index(p.object)].copy.data.clone();
+            let _ = p.reply.send(Ok(value));
+        }
+    }
+
+    fn handle_app(&mut self, req: AppReq, tag: OpTag) -> Result<(), String> {
+        if self.pending.is_some() {
+            return Err(format!(
+                "{}: second application operation started while one is in flight",
+                self.me
+            ));
+        }
+        let is_home = self.me == self.sys.home();
+        let kind = match req.op {
+            OpKind::Read => MsgKind::RReq,
+            OpKind::Write => MsgKind::WReq,
+        };
+        let msg = Msg::app_request(kind, self.me, is_home, req.object, tag);
+        // Version 0 is the "unstamped" placeholder; the real version is
+        // assigned by `context_params` when the write first materializes.
+        let data = req.data.map(|d| Payload {
+            data: d,
+            version: 0,
+            writer: self.me,
+        });
+        self.pending = Some(PendingApp {
+            op: req.op,
+            object: req.object,
+            tag,
+            data,
+            reply: req.reply,
+            blocked: false,
+        });
+        let env = Envelope {
+            msg,
+            params: None,
+            copy: None,
+            clock: self.clock.now(),
+        };
+        let (returned, enabled) = self.step(&env)?;
+        self.complete_if_done(returned, enabled, tag);
+        Ok(())
+    }
+}
+
+/// Drive one node until `Stop`, channel disconnect, or an error that
+/// poisons the cluster. Always returns the final replica snapshot; on
+/// error, the pending and backlogged callers are failed with the poison
+/// reason instead of being left to hang.
+///
+/// The endpoint is handed back (not closed) so the caller can publish
+/// the snapshot *before* tearing the transport down — endpoint close
+/// may join service threads that are themselves waiting on the
+/// snapshot (the multi-process control plane does exactly that).
+pub(crate) fn node_loop(
+    mut ctx: NodeCtx,
+    rx: Receiver<Wire>,
+) -> (Vec<ReplicaSnap>, Box<dyn Endpoint>) {
+    let mut backlog: VecDeque<(AppReq, OpTag)> = VecDeque::new();
+    if let Err(reason) = run_loop(&mut ctx, &rx, &mut backlog) {
+        let err = ClusterError::Poisoned {
+            node: ctx.me,
+            reason,
+        };
+        poison_set(&ctx.poison, err.clone());
+        if let Some(p) = ctx.pending.take() {
+            let _ = p.reply.send(Err(err.clone()));
+        }
+        for (req, _) in backlog.drain(..) {
+            let _ = req.reply.send(Err(err.clone()));
+        }
+        // Fail late arrivals that were already queued behind the error.
+        while let Ok(wire) = rx.try_recv() {
+            if let Wire::Local(req, _) = wire {
+                let _ = req.reply.send(Err(err.clone()));
+            }
+        }
+    }
+    let snaps = ctx
+        .procs
+        .into_iter()
+        .map(|p| ReplicaSnap {
+            state: p.state,
+            data: p.copy.data,
+            version: p.copy.version,
+            writer: p.copy.writer,
+        })
+        .collect();
+    (snaps, ctx.endpoint)
+}
+
+fn run_loop(
+    ctx: &mut NodeCtx,
+    rx: &Receiver<Wire>,
+    backlog: &mut VecDeque<(AppReq, OpTag)>,
+) -> Result<(), String> {
+    loop {
+        // Distributed messages take priority (global sequencing): drain
+        // everything already queued before starting a local request.
+        loop {
+            match rx.try_recv() {
+                Ok(Wire::Net(env)) => ctx.handle_env(env)?,
+                Ok(Wire::Local(req, tag)) => backlog.push_back((req, tag)),
+                Ok(Wire::Stop) => return Ok(()),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return Ok(()),
+            }
+        }
+        // Start the next local request only when none is in flight.
+        if ctx.pending.is_none() {
+            if let Some((req, tag)) = backlog.pop_front() {
+                ctx.handle_app(req, tag)?;
+                continue;
+            }
+        }
+        match rx.recv() {
+            Ok(Wire::Net(env)) => ctx.handle_env(env)?,
+            Ok(Wire::Local(req, tag)) => backlog.push_back((req, tag)),
+            Ok(Wire::Stop) | Err(_) => return Ok(()),
+        }
+    }
+}

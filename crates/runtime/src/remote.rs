@@ -1,0 +1,459 @@
+//! Multi-process clusters: one node per OS process over TCP.
+//!
+//! Two halves share the wire control plane defined in
+//! `repmem_net::codec`:
+//!
+//! * [`serve`] — runs *one* node of the cluster in the current process:
+//!   the same node loop as [`crate::Cluster`], attached to a
+//!   [`TcpEndpoint`] mesh, with operations injected over control
+//!   connections instead of in-process handles. The `repmem-node` binary
+//!   is a thin argument parser around this function.
+//! * [`RemoteCluster`] — the driver: launches `N+1` `repmem-node`
+//!   processes on localhost, exchanges listen addresses over their
+//!   stdio (`LISTEN` / `PEERS` lines), and then speaks the framed
+//!   control protocol (`Op`/`OpDone`, `CostQuery`/`CostReport`,
+//!   `Shutdown`/`Dump`) over one TCP control connection per node.
+//!
+//! Version stamps in this mode come from a per-process Lamport clock
+//! pushed forward by the `clock` field piggybacked on every envelope,
+//! so the merged outcome is deterministic without any shared counter
+//! (see the node module docs).
+
+use crate::cluster::ClusterDump;
+use crate::node::{
+    node_loop, poison_get, AppReq, ClusterError, NodeCtx, Poison, ReplicaSnap, VersionClock, Wire,
+};
+use bytes::Bytes;
+use repmem_core::{NodeId, ObjectId, OpKind, OpTag, ProtocolKind, SystemParams};
+use repmem_net::codec::{read_frame, write_frame, Frame};
+use repmem_net::{CtrlConn, CtrlHandler, TcpEndpoint, TcpMeshConfig, CTRL_NODE, WIRE_VERSION};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything one `repmem-node` process needs to join a cluster.
+pub struct ServeConfig {
+    /// System parameters (identical at every node).
+    pub sys: SystemParams,
+    /// Coherence protocol (identical at every node).
+    pub kind: ProtocolKind,
+    /// This process's node id.
+    pub me: NodeId,
+    /// This process's bound listener.
+    pub listener: TcpListener,
+    /// Listen address of every node, indexed by node id.
+    pub peers: Vec<SocketAddr>,
+    /// Budget for dialing peers / waiting on inbound links.
+    pub link_timeout: Duration,
+}
+
+/// Run one node of a multi-process cluster until a control connection
+/// sends `Shutdown` (or the node poisons itself). Blocks the calling
+/// thread for the lifetime of the node.
+pub fn serve(cfg: ServeConfig) -> Result<(), ClusterError> {
+    let (tx, rx) = channel::<Wire>();
+    let cost = Arc::new(AtomicU64::new(0));
+    let messages = Arc::new(AtomicU64::new(0));
+    let poison: Poison = Arc::new(Mutex::new(None));
+    let (snap_tx, snap_rx) = channel::<Vec<ReplicaSnap>>();
+    // Only one control connection gets to collect the final snapshot.
+    let snap_slot = Arc::new(Mutex::new(Some(snap_rx)));
+    let next_tag = Arc::new(AtomicU64::new(1));
+
+    let deliver = {
+        let tx = tx.clone();
+        Box::new(move |env| {
+            let _ = tx.send(Wire::Net(env));
+        })
+    };
+    let ctrl: CtrlHandler = {
+        let tx = tx.clone();
+        let cost = Arc::clone(&cost);
+        let messages = Arc::clone(&messages);
+        let poison = Arc::clone(&poison);
+        let snap_slot = Arc::clone(&snap_slot);
+        let next_tag = Arc::clone(&next_tag);
+        let me = cfg.me;
+        Box::new(move |conn| {
+            control_loop(
+                conn,
+                me,
+                tx.clone(),
+                Arc::clone(&cost),
+                Arc::clone(&messages),
+                Arc::clone(&poison),
+                Arc::clone(&snap_slot),
+                Arc::clone(&next_tag),
+            )
+        })
+    };
+    let endpoint = TcpEndpoint::establish(
+        TcpMeshConfig {
+            me: cfg.me,
+            listener: cfg.listener,
+            peers: cfg.peers,
+            link_timeout: cfg.link_timeout,
+        },
+        deliver,
+        Some(ctrl),
+    )
+    .map_err(|e| ClusterError::Transport(e.to_string()))?;
+
+    let ctx = NodeCtx::new(
+        cfg.me,
+        cfg.sys,
+        cfg.kind,
+        Box::new(endpoint),
+        cost,
+        messages,
+        VersionClock::Lamport(AtomicU64::new(0)),
+        Arc::clone(&poison),
+    );
+    // Publish the snapshot before closing the endpoint: close joins the
+    // control threads, and the shutdown-issuing one is waiting on it.
+    let (snap, endpoint) = node_loop(ctx, rx);
+    let _ = snap_tx.send(snap);
+    endpoint.close();
+    match poison_get(&poison) {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn down_reason(poison: &Poison, me: NodeId) -> String {
+    poison_get(poison)
+        .unwrap_or(ClusterError::NodeDown(me))
+        .to_string()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn control_loop(
+    mut conn: CtrlConn,
+    me: NodeId,
+    tx: Sender<Wire>,
+    cost: Arc<AtomicU64>,
+    messages: Arc<AtomicU64>,
+    poison: Poison,
+    snap_slot: Arc<Mutex<Option<Receiver<Vec<ReplicaSnap>>>>>,
+    next_tag: Arc<AtomicU64>,
+) {
+    loop {
+        let frame = match read_frame(&mut conn.reader) {
+            Ok(f) => f,
+            Err(_) => return, // driver went away
+        };
+        match frame {
+            Frame::Op { op, object, data } => {
+                let (reply_tx, reply_rx) = sync_channel(1);
+                // High bits carry the node id so tags stay unique across
+                // processes without coordination.
+                let tag = OpTag((u64::from(me.0) << 48) | next_tag.fetch_add(1, Ordering::Relaxed));
+                let req = AppReq {
+                    op,
+                    object,
+                    data,
+                    reply: reply_tx,
+                };
+                let result = if tx.send(Wire::Local(req, tag)).is_err() {
+                    Err(down_reason(&poison, me))
+                } else {
+                    match reply_rx.recv() {
+                        Ok(r) => r.map_err(|e| e.to_string()),
+                        Err(_) => Err(down_reason(&poison, me)),
+                    }
+                };
+                if write_frame(&mut conn.writer, &Frame::OpDone { result }).is_err() {
+                    return;
+                }
+            }
+            Frame::CostQuery => {
+                let report = Frame::CostReport {
+                    cost: cost.load(Ordering::Relaxed),
+                    messages: messages.load(Ordering::Relaxed),
+                };
+                if write_frame(&mut conn.writer, &report).is_err() {
+                    return;
+                }
+            }
+            Frame::Shutdown => {
+                let _ = tx.send(Wire::Stop);
+                let snap_rx = lock(&snap_slot).take();
+                let snap = snap_rx.and_then(|rx| rx.recv().ok()).unwrap_or_default();
+                let objects = snap
+                    .into_iter()
+                    .map(|r| (r.state, r.version, r.writer.0, r.data))
+                    .collect();
+                let _ = write_frame(&mut conn.writer, &Frame::Dump { objects });
+                return;
+            }
+            // Anything else on a control connection is a protocol
+            // violation; drop the connection.
+            _ => return,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One driver-side control connection.
+struct CtrlLink {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A cluster of `N+1` `repmem-node` OS processes on localhost, driven
+/// over per-node TCP control connections.
+pub struct RemoteCluster {
+    sys: SystemParams,
+    children: Vec<Child>,
+    links: Vec<CtrlLink>,
+}
+
+impl RemoteCluster {
+    /// Launch `N+1` `repmem-node` processes running `kind` over `sys`,
+    /// wire them into a mesh, and connect a control link to each.
+    ///
+    /// `bin` is the `repmem-node` executable (tests use
+    /// `env!("CARGO_BIN_EXE_repmem-node")`).
+    pub fn launch(
+        sys: SystemParams,
+        kind: ProtocolKind,
+        bin: &Path,
+    ) -> Result<RemoteCluster, ClusterError> {
+        let n = sys.n_nodes();
+        let fail =
+            |what: &str, e: &dyn std::fmt::Display| ClusterError::Transport(format!("{what}: {e}"));
+        let mut children = Vec::with_capacity(n);
+        for i in 0..n {
+            let child = Command::new(bin)
+                .arg("--node")
+                .arg(i.to_string())
+                .arg("--n-clients")
+                .arg(sys.n_clients.to_string())
+                .arg("--s")
+                .arg(sys.s.to_string())
+                .arg("--p")
+                .arg(sys.p.to_string())
+                .arg("--m")
+                .arg(sys.m_objects.to_string())
+                .arg("--protocol")
+                .arg(kind.name())
+                .arg("--listen")
+                .arg("127.0.0.1:0")
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .map_err(|e| fail(&format!("spawning {}", bin.display()), &e))?;
+            children.push(child);
+        }
+        let mut cluster = RemoteCluster {
+            sys,
+            children,
+            links: Vec::with_capacity(n),
+        };
+        // Each node binds an ephemeral port and announces it on stdout.
+        let mut addrs = Vec::with_capacity(n);
+        for child in &mut cluster.children {
+            let stdout = child.stdout.take().expect("stdout was piped");
+            let mut line = String::new();
+            BufReader::new(stdout)
+                .read_line(&mut line)
+                .map_err(|e| fail("reading LISTEN line", &e))?;
+            let addr = line
+                .strip_prefix("LISTEN ")
+                .map(str::trim)
+                .and_then(|a| a.parse::<SocketAddr>().ok())
+                .ok_or_else(|| fail("parsing LISTEN line", &line.trim()))?;
+            addrs.push(addr);
+        }
+        // Tell every node the full address map; it then dials its peers.
+        let peer_line = addrs
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        for child in &mut cluster.children {
+            let mut stdin = child.stdin.take().expect("stdin was piped");
+            writeln!(stdin, "PEERS {peer_line}").map_err(|e| fail("writing PEERS line", &e))?;
+        }
+        // Control connection per node.
+        for (i, addr) in addrs.iter().enumerate() {
+            let stream = connect_with_retry(*addr, Duration::from_secs(10))
+                .map_err(|e| fail(&format!("control connection to node {i}"), &e))?;
+            let _ = stream.set_nodelay(true);
+            let mut writer = stream
+                .try_clone()
+                .map_err(|e| fail("cloning control stream", &e))?;
+            write_frame(
+                &mut writer,
+                &Frame::Hello {
+                    version: WIRE_VERSION,
+                    node: CTRL_NODE,
+                },
+            )
+            .map_err(|e| fail("control hello", &e))?;
+            cluster.links.push(CtrlLink {
+                reader: BufReader::new(stream),
+                writer,
+            });
+        }
+        Ok(cluster)
+    }
+
+    /// System parameters this cluster runs with.
+    pub fn system(&self) -> SystemParams {
+        self.sys
+    }
+
+    /// Read the shared object through `node`'s replica (blocking).
+    pub fn read(&mut self, node: NodeId, object: ObjectId) -> Result<Bytes, ClusterError> {
+        self.op(node, OpKind::Read, object, None)
+    }
+
+    /// Write the shared object through `node` (blocking, like
+    /// `Handle::write`).
+    pub fn write(
+        &mut self,
+        node: NodeId,
+        object: ObjectId,
+        data: Bytes,
+    ) -> Result<(), ClusterError> {
+        self.op(node, OpKind::Write, object, Some(data)).map(|_| ())
+    }
+
+    fn op(
+        &mut self,
+        node: NodeId,
+        op: OpKind,
+        object: ObjectId,
+        data: Option<Bytes>,
+    ) -> Result<Bytes, ClusterError> {
+        let link = self
+            .links
+            .get_mut(node.idx())
+            .ok_or(ClusterError::NodeDown(node))?;
+        write_frame(&mut link.writer, &Frame::Op { op, object, data })
+            .map_err(|e| ClusterError::Transport(format!("sending op to node {node}: {e}")))?;
+        match read_frame(&mut link.reader) {
+            Ok(Frame::OpDone { result }) => {
+                result.map_err(|reason| ClusterError::Poisoned { node, reason })
+            }
+            Ok(other) => Err(ClusterError::Transport(format!(
+                "unexpected control reply {other:?} from {node}"
+            ))),
+            Err(e) => Err(ClusterError::Transport(format!(
+                "reading op reply from {node}: {e}"
+            ))),
+        }
+    }
+
+    /// Cluster-wide `(cost, messages)` totals right now.
+    pub fn costs(&mut self) -> Result<(u64, u64), ClusterError> {
+        let mut total = (0u64, 0u64);
+        for (i, link) in self.links.iter_mut().enumerate() {
+            write_frame(&mut link.writer, &Frame::CostQuery)
+                .map_err(|e| ClusterError::Transport(format!("cost query to node {i}: {e}")))?;
+            match read_frame(&mut link.reader) {
+                Ok(Frame::CostReport { cost, messages }) => {
+                    total.0 += cost;
+                    total.1 += messages;
+                }
+                Ok(other) => {
+                    return Err(ClusterError::Transport(format!(
+                        "unexpected control reply {other:?} from node {i}"
+                    )))
+                }
+                Err(e) => {
+                    return Err(ClusterError::Transport(format!(
+                        "reading cost report from node {i}: {e}"
+                    )))
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Poll [`RemoteCluster::costs`] until two consecutive samples agree
+    /// — lets in-flight fire-and-forget cascades drain before a
+    /// per-operation cost is attributed.
+    pub fn settle(&mut self) -> Result<(u64, u64), ClusterError> {
+        let mut last = self.costs()?;
+        loop {
+            std::thread::sleep(Duration::from_millis(2));
+            let now = self.costs()?;
+            if now == last {
+                return Ok(now);
+            }
+            last = now;
+        }
+    }
+
+    /// Stop every node process and collect the final replica snapshot.
+    pub fn shutdown(mut self) -> Result<ClusterDump, ClusterError> {
+        let mut copies = Vec::with_capacity(self.links.len());
+        for (i, link) in self.links.iter_mut().enumerate() {
+            write_frame(&mut link.writer, &Frame::Shutdown)
+                .map_err(|e| ClusterError::Transport(format!("shutdown to node {i}: {e}")))?;
+            match read_frame(&mut link.reader) {
+                Ok(Frame::Dump { objects }) => copies.push(
+                    objects
+                        .into_iter()
+                        .map(|(state, version, writer, data)| ReplicaSnap {
+                            state,
+                            data,
+                            version,
+                            writer: NodeId(writer),
+                        })
+                        .collect(),
+                ),
+                Ok(other) => {
+                    return Err(ClusterError::Transport(format!(
+                        "unexpected control reply {other:?} from node {i}"
+                    )))
+                }
+                Err(e) => {
+                    return Err(ClusterError::Transport(format!(
+                        "reading dump from node {i}: {e}"
+                    )))
+                }
+            }
+        }
+        for child in &mut self.children {
+            let _ = child.wait();
+        }
+        Ok(ClusterDump { copies })
+    }
+}
+
+impl Drop for RemoteCluster {
+    fn drop(&mut self) {
+        // Reap anything still running (e.g. a test failed mid-drive);
+        // after a clean shutdown these are no-ops on exited children.
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn connect_with_retry(addr: SocketAddr, budget: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + budget;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}

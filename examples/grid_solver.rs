@@ -72,15 +72,16 @@ fn main() {
                 for sweep in 0..sweeps {
                     // Read the neighbours' facing boundary rows.
                     if w > 0 {
-                        let _ = h.read(row(w - 1, rows_per_worker - 1));
+                        let _ = h.read(row(w - 1, rows_per_worker - 1)).unwrap();
                     }
                     if w + 1 < workers {
-                        let _ = h.read(row(w + 1, 0));
+                        let _ = h.read(row(w + 1, 0)).unwrap();
                     }
                     // Relax and publish the owned strip.
                     for r in 0..rows_per_worker {
-                        let _ = h.read(row(w, r));
-                        h.write(row(w, r), Bytes::from(format!("w{w} r{r} sweep{sweep}")));
+                        let _ = h.read(row(w, r)).unwrap();
+                        h.write(row(w, r), Bytes::from(format!("w{w} r{r} sweep{sweep}")))
+                            .unwrap();
                     }
                 }
             })
@@ -92,7 +93,7 @@ fn main() {
     std::thread::sleep(std::time::Duration::from_millis(30));
     let cost = cluster.total_cost();
     let msgs = cluster.total_messages();
-    let dump = cluster.shutdown();
+    let dump = cluster.shutdown().unwrap();
     assert!(dump.is_coherent(), "live run diverged");
     println!(
         "live run under {}: {} cost units over {} messages — replicas coherent.",

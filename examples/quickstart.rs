@@ -36,16 +36,18 @@ fn main() {
         // the value as soon as the coherence traffic lands — the write is
         // asynchronous for fire-and-forget and update protocols, so poll
         // briefly.
-        alice.write(ObjectId(3), Bytes::from_static(b"hello, replicated world"));
-        let again = alice.read(ObjectId(3));
+        alice
+            .write(ObjectId(3), Bytes::from_static(b"hello, replicated world"))
+            .unwrap();
+        let again = alice.read(ObjectId(3)).unwrap();
         assert_eq!(&again[..], b"hello, replicated world");
-        let mut seen = bob.read(ObjectId(3));
+        let mut seen = bob.read(ObjectId(3)).unwrap();
         for _ in 0..100 {
             if &seen[..] == b"hello, replicated world" {
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
-            seen = bob.read(ObjectId(3));
+            seen = bob.read(ObjectId(3)).unwrap();
         }
         assert_eq!(&seen[..], b"hello, replicated world");
 
@@ -55,7 +57,7 @@ fn main() {
             cluster.total_cost(),
             cluster.total_messages()
         );
-        let dump = cluster.shutdown();
+        let dump = cluster.shutdown().unwrap();
         assert!(dump.is_coherent(), "replicas diverged");
     }
 

@@ -17,6 +17,7 @@
 //! | [`protocols`] | `repmem-protocols` | the eight coherence protocols |
 //! | [`analytic`] | `repmem-analytic` | chain engine, closed forms, crossover analysis |
 //! | [`sim`] | `repmem-sim` | deterministic discrete-event simulator |
+//! | [`net`] | `repmem-net` | pluggable transports: in-process, TCP, metered, delayed |
 //! | [`runtime`] | `repmem-runtime` | threaded DSM cluster with a blocking API |
 //! | [`workload`] | `repmem-workload` | synthetic & application-shaped workloads |
 //! | [`adaptive`] | `repmem-adaptive` | workload estimation and protocol selection |
@@ -56,6 +57,7 @@ pub use repmem_adaptive as adaptive;
 pub use repmem_analytic as analytic;
 pub use repmem_core as core;
 pub use repmem_linalg as linalg;
+pub use repmem_net as net;
 pub use repmem_protocols as protocols;
 pub use repmem_runtime as runtime;
 pub use repmem_sim as sim;
@@ -72,7 +74,7 @@ pub mod prelude {
         Scenario, SystemParams,
     };
     pub use repmem_protocols::{all_protocols, protocol};
-    pub use repmem_runtime::{Cluster, Handle};
+    pub use repmem_runtime::{Cluster, ClusterDump, ClusterError, Handle};
     pub use repmem_sim::{replay, simulate, IssueMode, SimConfig, SimReport};
     pub use repmem_workload::{per_node_mix, OpEvent, ScenarioSampler};
 }

@@ -60,14 +60,14 @@ fn serial_usage_costs_match_the_oracle_exactly() {
             let h = cluster.handle(node);
             match op {
                 OpKind::Read => {
-                    let _ = h.read(obj);
+                    let _ = h.read(obj).unwrap();
                 }
-                OpKind::Write => h.write(obj, Bytes::from_static(b"v")),
+                OpKind::Write => h.write(obj, Bytes::from_static(b"v")).unwrap(),
             }
             settle(&cluster);
         }
         let measured = settle(&cluster);
-        let dump = cluster.shutdown();
+        let dump = cluster.shutdown().unwrap();
         assert_eq!(
             measured, predicted,
             "{kind:?}: live cluster cost {measured} vs oracle {predicted}"
@@ -88,13 +88,13 @@ fn multi_object_isolation() {
     let cluster = Cluster::new(sys, ProtocolKind::Illinois);
     let h0 = cluster.handle(NodeId(0));
     let h1 = cluster.handle(NodeId(1));
-    h0.write(ObjectId(0), Bytes::from_static(b"zero"));
-    h1.write(ObjectId(1), Bytes::from_static(b"one"));
-    assert_eq!(&h0.read(ObjectId(0))[..], b"zero");
-    assert_eq!(&h1.read(ObjectId(1))[..], b"one");
+    h0.write(ObjectId(0), Bytes::from_static(b"zero")).unwrap();
+    h1.write(ObjectId(1), Bytes::from_static(b"one")).unwrap();
+    assert_eq!(&h0.read(ObjectId(0)).unwrap()[..], b"zero");
+    assert_eq!(&h1.read(ObjectId(1)).unwrap()[..], b"one");
     // Object 2 was never written: every node still has the initial empty
     // copy.
-    assert!(h0.read(ObjectId(2)).is_empty());
-    let dump = cluster.shutdown();
+    assert!(h0.read(ObjectId(2)).unwrap().is_empty());
+    let dump = cluster.shutdown().unwrap();
     assert!(dump.is_coherent());
 }
