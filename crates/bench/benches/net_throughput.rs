@@ -10,7 +10,7 @@ use repmem_core::{
 };
 use repmem_net::codec::{decode_frame, encode_envelope_frame};
 use repmem_net::{Envelope, InProcTransport, Payload, TcpTransport};
-use repmem_runtime::Cluster;
+use repmem_runtime::{Cluster, ShardConfig};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -79,8 +79,13 @@ fn bench_transports(c: &mut Criterion) {
         }
     };
     g.bench_function("inproc", |b| {
-        let cluster = Cluster::with_transport(sys, kind, InProcTransport::new(sys.n_nodes()))
-            .expect("cluster");
+        let cluster = Cluster::with_transport(
+            sys,
+            kind,
+            ShardConfig::default(),
+            InProcTransport::new(sys.n_nodes()),
+        )
+        .expect("cluster");
         b.iter(|| drive(&cluster));
         cluster.shutdown().unwrap();
     });
@@ -88,7 +93,25 @@ fn bench_transports(c: &mut Criterion) {
         let cluster = Cluster::with_transport(
             sys,
             kind,
+            ShardConfig::default(),
             TcpTransport::loopback(sys.n_nodes()).expect("loopback mesh"),
+        )
+        .expect("cluster");
+        b.iter(|| drive(&cluster));
+        cluster.shutdown().unwrap();
+    });
+    // Same sockets, but outbound envelopes coalesce into one
+    // `Frame::Batch` per link at each node-loop flush: the syscall
+    // savings of the zero-alloc batch wire path, isolated from
+    // sharding and pipelining.
+    g.bench_function("tcp_loopback_batched", |b| {
+        let cluster = Cluster::with_transport(
+            sys,
+            kind,
+            ShardConfig::default(),
+            TcpTransport::loopback(sys.n_nodes())
+                .expect("loopback mesh")
+                .batched(),
         )
         .expect("cluster");
         b.iter(|| drive(&cluster));

@@ -1,10 +1,13 @@
 //! Threaded-runtime throughput: blocking read/write operations per second
-//! through a live cluster, for a local-heavy and a sharing-heavy pattern.
+//! through a live cluster, for a local-heavy and a sharing-heavy pattern,
+//! plus the sharded-sequencer / pipelined-window configurations driving
+//! the sharing-heavy pattern through the async ticket API.
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use repmem_core::{NodeId, ObjectId, ProtocolKind, SystemParams};
-use repmem_runtime::Cluster;
+use repmem_runtime::{Cluster, ShardConfig, Ticket};
+use std::collections::VecDeque;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -62,6 +65,43 @@ fn bench_runtime(c: &mut Criterion) {
                 cluster.shutdown().unwrap();
             },
         );
+        // Sharing-heavy sweep over the sharding/pipelining grid: all
+        // four clients rotate writes and reads across the object pool,
+        // issued through the async API with a `W × clients` in-flight
+        // cap ({K=1, W=1} is op-for-op the blocking seed runtime).
+        for (label, cfg) in [
+            ("sharing_k1_w1", ShardConfig::default()),
+            ("sharing_k2_w1", ShardConfig::new(2)),
+            ("sharing_k2_w8", ShardConfig::new(2).with_window(8)),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, kind.name()), &kind, |b, &kind| {
+                let cluster = Cluster::with_config(sys, kind, cfg);
+                let handles: Vec<_> = (0..sys.n_clients)
+                    .map(|i| cluster.handle(NodeId(i as u16)))
+                    .collect();
+                let payload = Bytes::from_static(b"payload");
+                let cap = cfg.window * sys.n_clients;
+                b.iter(|| {
+                    let mut tickets: VecDeque<Ticket> = VecDeque::with_capacity(cap);
+                    for i in 0..OPS {
+                        let h = &handles[i % sys.n_clients];
+                        let obj = ObjectId((i % sys.m_objects) as u32);
+                        tickets.push_back(if i % 3 == 0 {
+                            h.write_async(obj, payload.clone())
+                        } else {
+                            h.read_async(obj)
+                        });
+                        while tickets.len() >= cap {
+                            black_box(tickets.pop_front().unwrap().wait().unwrap());
+                        }
+                    }
+                    for t in tickets {
+                        black_box(t.wait().unwrap());
+                    }
+                });
+                cluster.shutdown().unwrap();
+            });
+        }
     }
     g.finish();
 }

@@ -1,0 +1,258 @@
+//! exp-perf — sharing-heavy data-plane throughput across the runtime's
+//! four configurations:
+//!
+//! * `baseline`  — the paper's topology: one sequencer (`K=1`), blocking
+//!   operations (`W=1`), in-process links.
+//! * `sharded`   — two sequencer shards (`K=2`), still blocking.
+//! * `pipelined` — `K=2` with an eight-deep in-flight window (`W=8`).
+//! * `batched`   — the full data plane: `K=2, W=8` over a batched TCP
+//!   loopback mesh (coalesced `Frame::Batch` wire frames); `tcp` is its
+//!   unbatched, blocking TCP control point.
+//!
+//! The workload is the sharing-heavy pattern of the `runtime/ops_per_sec`
+//! Criterion group: four clients rotating writes and reads over sixteen
+//! shared objects, so every operation crosses the coherence machinery.
+//!
+//! `--json` additionally records the ops/s grid in `BENCH_runtime.json`
+//! at the repository root, so the perf trajectory is tracked across PRs.
+//! `--ops N` overrides the per-cell operation count (default 12000);
+//! `--reps R` the medianed repetitions per cell (default 5).
+
+use bytes::Bytes;
+use repmem_core::{NodeId, ObjectId, ProtocolKind, SystemParams};
+use repmem_net::{InProcTransport, TcpTransport};
+use repmem_runtime::{Cluster, ShardConfig, Ticket};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const M_OBJECTS: usize = 16;
+const N_CLIENTS: usize = 4;
+
+fn sys() -> SystemParams {
+    SystemParams {
+        n_clients: N_CLIENTS,
+        s: 64,
+        p: 16,
+        m_objects: M_OBJECTS,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Wire {
+    InProc,
+    Tcp { batch: bool },
+}
+
+#[derive(Clone, Copy)]
+struct Variant {
+    name: &'static str,
+    cfg: ShardConfig,
+    wire: Wire,
+}
+
+const VARIANTS: [Variant; 5] = [
+    Variant {
+        name: "baseline",
+        cfg: ShardConfig {
+            shards: 1,
+            window: 1,
+        },
+        wire: Wire::InProc,
+    },
+    Variant {
+        name: "sharded",
+        cfg: ShardConfig {
+            shards: 2,
+            window: 1,
+        },
+        wire: Wire::InProc,
+    },
+    Variant {
+        name: "pipelined",
+        cfg: ShardConfig {
+            shards: 2,
+            window: 8,
+        },
+        wire: Wire::InProc,
+    },
+    Variant {
+        name: "tcp",
+        cfg: ShardConfig {
+            shards: 1,
+            window: 1,
+        },
+        wire: Wire::Tcp { batch: false },
+    },
+    Variant {
+        name: "batched",
+        cfg: ShardConfig {
+            shards: 2,
+            window: 8,
+        },
+        wire: Wire::Tcp { batch: true },
+    },
+];
+
+/// Drive the sharing-heavy pattern and return ops/s. The in-flight cap
+/// is `W × clients`, so `W = 1` reproduces the blocking seed behaviour
+/// (every client waits for its own operation) and `W = 8` keeps the
+/// pipeline full.
+fn run_cell(kind: ProtocolKind, v: Variant, ops: usize) -> f64 {
+    let sys = sys();
+    let n = v.cfg.total_nodes(&sys);
+    let cluster = match v.wire {
+        Wire::InProc => Cluster::with_transport(sys, kind, v.cfg, InProcTransport::new(n)),
+        Wire::Tcp { batch } => {
+            let t = TcpTransport::loopback(n).expect("loopback mesh");
+            let t = if batch { t.batched() } else { t };
+            Cluster::with_transport(sys, kind, v.cfg, t)
+        }
+    }
+    .expect("cluster");
+    let handles: Vec<_> = (0..N_CLIENTS)
+        .map(|i| cluster.handle(NodeId(i as u16)))
+        .collect();
+    let payload = Bytes::from_static(b"sharing-heavy-payload");
+    // Materialize every object once so the measured loop sees the
+    // protocols' steady state, not first-touch setup.
+    for o in 0..M_OBJECTS as u32 {
+        handles[0]
+            .write(ObjectId(o), payload.clone())
+            .expect("warmup");
+    }
+    let cap = v.cfg.window * N_CLIENTS;
+    let mut tickets: VecDeque<Ticket> = VecDeque::with_capacity(cap);
+    let start = Instant::now();
+    for i in 0..ops {
+        let h = &handles[i % N_CLIENTS];
+        let obj = ObjectId((i % M_OBJECTS) as u32);
+        let t = if i % 3 == 0 {
+            h.write_async(obj, payload.clone())
+        } else {
+            h.read_async(obj)
+        };
+        tickets.push_back(t);
+        while tickets.len() >= cap {
+            tickets.pop_front().expect("non-empty").wait().expect("op");
+        }
+    }
+    for t in tickets {
+        t.wait().expect("op");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    cluster.shutdown().expect("shutdown");
+    ops as f64 / secs
+}
+
+/// Median ops/s over `reps` independent cluster runs — one run per
+/// cluster, so cell noise (thread scheduling, TCP slow starts) doesn't
+/// masquerade as a protocol property.
+fn run_cell_median(kind: ProtocolKind, v: Variant, ops: usize, reps: usize) -> f64 {
+    let mut rates: Vec<f64> = (0..reps).map(|_| run_cell(kind, v, ops)).collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    rates[rates.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let flag = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{name} takes a number"))
+            })
+            .unwrap_or(default)
+    };
+    let ops = flag("--ops", 12000);
+    let reps = flag("--reps", 5).max(1);
+
+    let sys = sys();
+    println!(
+        "exp-perf — sharing-heavy ops/s, N={} clients, M={} objects, \
+         {ops} ops per cell, median of {reps}\n",
+        sys.n_clients, sys.m_objects
+    );
+    print!("{:<16}", "protocol");
+    for v in VARIANTS {
+        print!("{:>12}", v.name);
+    }
+    println!();
+
+    let mut rows: Vec<(ProtocolKind, Vec<f64>)> = Vec::new();
+    for kind in ProtocolKind::ALL {
+        print!("{:<16}", kind.name());
+        let mut cells = Vec::new();
+        for v in VARIANTS {
+            let rate = run_cell_median(kind, v, ops, reps);
+            print!("{:>12.0}", rate);
+            use std::io::Write;
+            std::io::stdout().flush().ok();
+            cells.push(rate);
+        }
+        println!();
+        rows.push((kind, cells));
+    }
+
+    // Acceptance ratios: the full data plane against its own wire's
+    // blocking baseline, and the in-process pipeline against the seed.
+    let geo = |num: usize, den: usize| -> f64 {
+        let log_sum: f64 = rows.iter().map(|(_, c)| (c[num] / c[den]).ln()).sum();
+        (log_sum / rows.len() as f64).exp()
+    };
+    let pipe_x = geo(2, 0);
+    let batch_x = geo(4, 3);
+    println!("\ngeomean speedups over all protocols:");
+    println!("  pipelined (K=2, W=8, in-proc)  vs baseline (in-proc): {pipe_x:.2}x");
+    println!("  batched   (K=2, W=8, batched TCP) vs tcp (blocking TCP): {batch_x:.2}x");
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"n_clients\": {}, \"s\": {}, \"p\": {}, \"m_objects\": {}, \"ops\": {ops}, \"reps\": {reps}}},\n",
+            sys.n_clients, sys.s, sys.p, sys.m_objects
+        ));
+        out.push_str("  \"variants\": {\n");
+        for (i, v) in VARIANTS.iter().enumerate() {
+            let wire = match v.wire {
+                Wire::InProc => "inproc",
+                Wire::Tcp { batch: false } => "tcp",
+                Wire::Tcp { batch: true } => "tcp+batch",
+            };
+            out.push_str(&format!(
+                "    \"{}\": {{\"shards\": {}, \"window\": {}, \"wire\": \"{wire}\"}}{}\n",
+                v.name,
+                v.cfg.shards,
+                v.cfg.window,
+                if i + 1 < VARIANTS.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n  \"ops_per_sec\": {\n");
+        for (r, (kind, cells)) in rows.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{", kind.name()));
+            for (i, (v, rate)) in VARIANTS.iter().zip(cells).enumerate() {
+                out.push_str(&format!(
+                    "\"{}\": {:.1}{}",
+                    v.name,
+                    rate,
+                    if i + 1 < VARIANTS.len() { ", " } else { "" }
+                ));
+            }
+            out.push_str(&format!(
+                "}}{}\n",
+                if r + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"geomean_speedup\": {{\"pipelined_vs_baseline\": {pipe_x:.2}, \"batched_vs_tcp\": {batch_x:.2}}}\n"
+        ));
+        out.push_str("}\n");
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
+        std::fs::write(&path, out).expect("write BENCH_runtime.json");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -84,6 +84,10 @@ pub enum Frame {
     Dump {
         objects: Vec<(CopyState, u64, u16, Bytes)>,
     },
+    /// Several envelopes for the same link coalesced into one frame
+    /// (one length prefix, one syscall). Receivers deliver the
+    /// envelopes in order, so link FIFO semantics are unchanged.
+    Batch(Vec<Envelope>),
 }
 
 const TAG_HELLO: u8 = 0;
@@ -94,6 +98,14 @@ const TAG_COST_QUERY: u8 = 4;
 const TAG_COST_REPORT: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
 const TAG_DUMP: u8 = 7;
+pub(crate) const TAG_BATCH: u8 = 8;
+
+/// Fixed encoded size of an envelope body with no payload sections:
+/// frame tag, msg kind, initiator, sender, object, queue, payload kind,
+/// op tag, clock, flags.
+const ENVELOPE_FIXED_LEN: u64 = 1 + 1 + 2 + 2 + 4 + 1 + 1 + 8 + 8 + 1;
+/// Fixed per-payload overhead: version, writer, data length prefix.
+const PAYLOAD_FIXED_LEN: u64 = 8 + 2 + 4;
 
 fn copy_state_code(s: CopyState) -> u8 {
     match s {
@@ -133,7 +145,7 @@ fn put_payload(out: &mut Vec<u8>, p: &Payload) {
     put_bytes(out, &p.data);
 }
 
-fn put_envelope(out: &mut Vec<u8>, env: &Envelope) {
+pub(crate) fn put_envelope(out: &mut Vec<u8>, env: &Envelope) {
     out.push(TAG_ENVELOPE);
     let m = &env.msg;
     out.push(m.kind.wire_code());
@@ -207,34 +219,77 @@ fn encode_body(frame: &Frame, out: &mut Vec<u8>) {
                 put_bytes(out, data);
             }
         }
+        Frame::Batch(envs) => {
+            out.push(TAG_BATCH);
+            out.extend_from_slice(&(envs.len() as u32).to_le_bytes());
+            for env in envs {
+                put_envelope(out, env);
+            }
+        }
     }
+}
+
+/// Append a frame as `[u32 LE length][body]` to `out`, encoding the
+/// body in place after a 4-byte length placeholder and backpatching the
+/// prefix — one buffer, no intermediate body allocation. `out` is *not*
+/// cleared: successive frames append, so a link can assemble its whole
+/// outbound burst in one reusable buffer.
+pub fn encode_frame_into(frame: &Frame, out: &mut Vec<u8>) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    encode_body(frame, out);
+    let body_len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Append an envelope frame to `out` (see [`encode_frame_into`] for the
+/// placeholder/backpatch contract) — the hot path for socket sends.
+pub fn encode_envelope_frame_into(env: &Envelope, out: &mut Vec<u8>) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    put_envelope(out, env);
+    let body_len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&body_len.to_le_bytes());
 }
 
 /// Encode a frame as `[u32 LE length][body]`.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
-    let mut body = Vec::with_capacity(64);
-    encode_body(frame, &mut body);
-    let mut out = Vec::with_capacity(4 + body.len());
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(&body);
+    let mut out = Vec::with_capacity(64);
+    encode_frame_into(frame, &mut out);
     out
 }
 
-/// Encode an envelope frame without taking ownership of the envelope —
-/// the hot path for socket sends and byte meters.
+/// Encode an envelope frame without taking ownership of the envelope.
 pub fn encode_envelope_frame(env: &Envelope) -> Vec<u8> {
-    let mut body = Vec::with_capacity(64);
-    put_envelope(&mut body, env);
-    let mut out = Vec::with_capacity(4 + body.len());
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(&body);
+    let mut out = Vec::with_capacity(4 + envelope_frame_len(env) as usize);
+    encode_envelope_frame_into(env, &mut out);
     out
+}
+
+/// Encoded length (prefix included) of an envelope frame, computed
+/// without encoding anything — the per-link byte meters charge from
+/// this, so metering stays allocation-free.
+pub fn envelope_frame_len(env: &Envelope) -> u64 {
+    let mut len = 4 + ENVELOPE_FIXED_LEN;
+    if let Some(p) = &env.params {
+        len += PAYLOAD_FIXED_LEN + p.data.len() as u64;
+    }
+    if let Some(c) = &env.copy {
+        len += PAYLOAD_FIXED_LEN + c.data.len() as u64;
+    }
+    len
 }
 
 /// Encoded length (prefix included) of a frame, without keeping the
-/// encoding — used by the per-link byte meters.
+/// encoding.
 pub fn frame_len(frame: &Frame) -> u64 {
-    encode_frame(frame).len() as u64
+    match frame {
+        Frame::Envelope(env) => envelope_frame_len(env),
+        Frame::Batch(envs) => {
+            4 + 1 + 4 + envs.iter().map(|e| envelope_frame_len(e) - 4).sum::<u64>()
+        }
+        _ => encode_frame(frame).len() as u64,
+    }
 }
 
 /// Write one frame to a stream.
@@ -316,6 +371,52 @@ fn bad_code(what: &str, code: u8) -> CodecError {
     CodecError::Malformed(format!("unknown {what} code {code}"))
 }
 
+/// Decode one envelope body (the bytes after its `TAG_ENVELOPE` tag) —
+/// shared by the single-envelope and batch frame arms.
+fn get_envelope(c: &mut Cursor<'_>) -> Result<Envelope, CodecError> {
+    let kc = c.u8()?;
+    let kind = MsgKind::from_wire_code(kc).ok_or_else(|| bad_code("MsgKind", kc))?;
+    let initiator = NodeId(c.u16()?);
+    let sender = NodeId(c.u16()?);
+    let object = ObjectId(c.u32()?);
+    let qc = c.u8()?;
+    let queue = QueueKind::from_wire_code(qc).ok_or_else(|| bad_code("QueueKind", qc))?;
+    let pc = c.u8()?;
+    let payload = PayloadKind::from_wire_code(pc).ok_or_else(|| bad_code("PayloadKind", pc))?;
+    let op = OpTag(c.u64()?);
+    let clock = c.u64()?;
+    let flags = c.u8()?;
+    if flags & !0b11 != 0 {
+        return Err(CodecError::Malformed(format!(
+            "unknown envelope flag bits {flags:#04x}"
+        )));
+    }
+    let params = if flags & 1 != 0 {
+        Some(c.payload()?)
+    } else {
+        None
+    };
+    let copy = if flags & 2 != 0 {
+        Some(c.payload()?)
+    } else {
+        None
+    };
+    Ok(Envelope {
+        msg: Msg {
+            kind,
+            initiator,
+            sender,
+            object,
+            queue,
+            payload,
+            op,
+        },
+        params,
+        copy,
+        clock,
+    })
+}
+
 /// Decode one frame body (the bytes after the length prefix).
 pub fn decode_frame(body: &[u8]) -> Result<Frame, CodecError> {
     let mut c = Cursor { buf: body, at: 0 };
@@ -325,49 +426,30 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, CodecError> {
             version: c.u8()?,
             node: c.u16()?,
         },
-        TAG_ENVELOPE => {
-            let kind =
-                MsgKind::from_wire_code(c.u8()?).ok_or_else(|| bad_code("MsgKind", body[1]))?;
-            let initiator = NodeId(c.u16()?);
-            let sender = NodeId(c.u16()?);
-            let object = ObjectId(c.u32()?);
-            let qc = c.u8()?;
-            let queue = QueueKind::from_wire_code(qc).ok_or_else(|| bad_code("QueueKind", qc))?;
-            let pc = c.u8()?;
-            let payload =
-                PayloadKind::from_wire_code(pc).ok_or_else(|| bad_code("PayloadKind", pc))?;
-            let op = OpTag(c.u64()?);
-            let clock = c.u64()?;
-            let flags = c.u8()?;
-            if flags & !0b11 != 0 {
+        TAG_ENVELOPE => Frame::Envelope(get_envelope(&mut c)?),
+        TAG_BATCH => {
+            let count = c.u32()? as usize;
+            if count == 0 {
+                return Err(CodecError::Malformed("empty envelope batch".to_string()));
+            }
+            // Every batched envelope body is at least the fixed token
+            // section, so the count is bounded by the body size.
+            if count as u64 > body.len() as u64 / ENVELOPE_FIXED_LEN {
                 return Err(CodecError::Malformed(format!(
-                    "unknown envelope flag bits {flags:#04x}"
+                    "batch count {count} exceeds the frame body"
                 )));
             }
-            let params = if flags & 1 != 0 {
-                Some(c.payload()?)
-            } else {
-                None
-            };
-            let copy = if flags & 2 != 0 {
-                Some(c.payload()?)
-            } else {
-                None
-            };
-            Frame::Envelope(Envelope {
-                msg: Msg {
-                    kind,
-                    initiator,
-                    sender,
-                    object,
-                    queue,
-                    payload,
-                    op,
-                },
-                params,
-                copy,
-                clock,
-            })
+            let mut envs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let it = c.u8()?;
+                if it != TAG_ENVELOPE {
+                    return Err(CodecError::Malformed(format!(
+                        "batch item with tag {it} (expected envelope)"
+                    )));
+                }
+                envs.push(get_envelope(&mut c)?);
+            }
+            Frame::Batch(envs)
         }
         TAG_OP => {
             let op = match c.u8()? {

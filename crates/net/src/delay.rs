@@ -18,7 +18,7 @@ use crate::{DeliverFn, Endpoint, Envelope, NetError, Transport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use repmem_core::NodeId;
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -73,18 +73,7 @@ impl<T: Transport> Transport for DelayTransport<T> {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ node.0 as u64);
         let forwarder = Arc::clone(&inner);
         let worker = std::thread::spawn(move || {
-            while let Ok((to, env)) = rx.recv() {
-                let jitter = if span.is_zero() {
-                    Duration::ZERO
-                } else {
-                    Duration::from_nanos(rng.random_range(0..span.as_nanos() as u64 + 1))
-                };
-                std::thread::sleep(min + jitter);
-                // The endpoint may already be closed during shutdown; a
-                // late delivery failure is indistinguishable from the
-                // message still being "on the wire" when the link died.
-                let _ = forwarder.send(to, &env);
-            }
+            run_delay_worker(&rx, &forwarder, min, span, &mut rng);
         });
         Ok(Box::new(DelayEndpoint {
             inner,
@@ -96,6 +85,48 @@ impl<T: Transport> Transport for DelayTransport<T> {
     fn meter(&self) -> Option<crate::MeterHandle> {
         self.inner.meter()
     }
+}
+
+/// Drain the queue, forwarding each message after its seeded delay.
+///
+/// The node loop's flush reaches the wrapped endpoint *before* the
+/// delayed messages do (they are still "in the air" in this worker), so
+/// whenever the queue goes momentarily idle the worker flushes the
+/// inner endpoint itself — a batching backend underneath a delayed link
+/// can then never strand a buffered frame.
+fn run_delay_worker(
+    rx: &Receiver<(NodeId, Envelope)>,
+    forwarder: &Arc<Box<dyn Endpoint>>,
+    min: Duration,
+    span: Duration,
+    rng: &mut StdRng,
+) {
+    loop {
+        let (to, env) = match rx.try_recv() {
+            Ok(m) => m,
+            Err(TryRecvError::Empty) => {
+                let _ = forwarder.flush();
+                match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        let jitter = if span.is_zero() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(rng.random_range(0..span.as_nanos() as u64 + 1))
+        };
+        std::thread::sleep(min + jitter);
+        // The endpoint may already be closed during shutdown; a late
+        // delivery failure is indistinguishable from the message still
+        // being "on the wire" when the link died.
+        let _ = forwarder.send(to, &env);
+    }
+    // Everything queued has been forwarded; push out any frames the
+    // inner endpoint still holds before the close tears it down.
+    let _ = forwarder.flush();
 }
 
 struct DelayEndpoint {
@@ -111,6 +142,14 @@ impl Endpoint for DelayEndpoint {
             Some(tx) => tx.send((to, env.clone())).map_err(|_| NetError::Closed(to)),
             None => Err(NetError::Closed(to)),
         }
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
+        // Messages still sitting in the delay queue are "on the wire"
+        // and flush on their own (the worker flushes the inner endpoint
+        // whenever its queue drains); anything already forwarded may be
+        // buffered below, so pass the flush through.
+        self.inner.flush()
     }
 
     fn close(&self) {

@@ -140,7 +140,19 @@ pub type DeliverFn = Box<dyn Fn(Envelope) + Send + Sync>;
 /// preserving the same ordering guarantee.
 pub trait Endpoint: Send + Sync {
     /// Send one envelope to `to` (which may be the local node).
+    ///
+    /// A batching endpoint may buffer the envelope instead of putting it
+    /// on the wire immediately; [`Endpoint::flush`] forces it out.
+    /// Non-batching endpoints transmit eagerly and their `flush` is a
+    /// no-op — FIFO order per link holds either way.
     fn send(&self, to: NodeId, env: &Envelope) -> Result<(), NetError>;
+
+    /// Push any buffered outbound envelopes onto the wire. Callers that
+    /// are about to block on their inbox **must** flush first, or a
+    /// batching endpoint can deadlock the cluster.
+    fn flush(&self) -> Result<(), NetError> {
+        Ok(())
+    }
 
     /// Tear the endpoint down; in-flight deliveries may still land, but
     /// further sends fail with [`NetError::Closed`].

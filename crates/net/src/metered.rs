@@ -13,7 +13,7 @@
 //! cluster's own cost counter — the wire-level cross-check of the
 //! analytic `acc` accounting.
 
-use crate::codec::encode_envelope_frame;
+use crate::codec::envelope_frame_len;
 use crate::{DeliverFn, Endpoint, Envelope, NetError, Transport};
 use repmem_core::{NodeId, PayloadKind, SystemParams};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,6 +98,34 @@ impl MeterStats {
         snap
     }
 
+    /// Aggregate snapshot of everything `from` sent, over all links —
+    /// e.g. one sequencer shard's share of the outbound traffic.
+    pub fn from_node(&self, from: NodeId) -> LinkSnapshot {
+        let mut snap = LinkSnapshot::default();
+        for to in 0..self.n {
+            let link = self.link(from, NodeId(to as u16));
+            for c in 0..CLASSES {
+                snap.classes[c].msgs += link.classes[c].msgs;
+                snap.classes[c].bytes += link.classes[c].bytes;
+            }
+        }
+        snap
+    }
+
+    /// Aggregate snapshot of everything addressed *to* `to`, over all
+    /// links — a shard's share of the inbound request traffic.
+    pub fn to_node(&self, to: NodeId) -> LinkSnapshot {
+        let mut snap = LinkSnapshot::default();
+        for from in 0..self.n {
+            let link = self.link(NodeId(from as u16), to);
+            for c in 0..CLASSES {
+                snap.classes[c].msgs += link.classes[c].msgs;
+                snap.classes[c].bytes += link.classes[c].bytes;
+            }
+        }
+        snap
+    }
+
     /// Aggregate snapshot over all links.
     pub fn total(&self) -> LinkSnapshot {
         let mut snap = LinkSnapshot::default();
@@ -173,10 +201,20 @@ impl Endpoint for MeteredEndpoint {
     fn send(&self, to: NodeId, env: &Envelope) -> Result<(), NetError> {
         self.inner.send(to, env)?;
         if to != self.me {
-            let bytes = encode_envelope_frame(env).len() as u64;
+            // Computed framed length — no encoding, no allocation.
+            // Batching backends coalesce several envelopes under one
+            // frame header, so their wire bytes run slightly *under*
+            // this per-envelope figure; the meter charges the canonical
+            // unbatched framing so counts reconcile with the cost model
+            // regardless of the backend's batching choices.
+            let bytes = envelope_frame_len(env);
             self.stats.record(self.me, to, env.msg.payload, bytes);
         }
         Ok(())
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
+        self.inner.flush()
     }
 
     fn close(&self) {

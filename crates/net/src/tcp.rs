@@ -20,7 +20,7 @@
 //!
 //! [`codec`]: crate::codec
 
-use crate::codec::{encode_envelope_frame, read_frame, write_frame, Frame, WIRE_VERSION};
+use crate::codec::{encode_envelope_frame_into, read_frame, write_frame, Frame, WIRE_VERSION};
 use crate::{DeliverFn, Endpoint, Envelope, NetError, Transport};
 use repmem_core::NodeId;
 use std::io::BufReader;
@@ -59,16 +59,41 @@ pub struct TcpMeshConfig {
     /// Total budget for dialing each peer (retries until then) and for
     /// waiting on a not-yet-accepted inbound link at first send.
     pub link_timeout: Duration,
+    /// Coalesce outbound envelopes per link into one
+    /// [`Frame::Batch`] put on the wire at [`Endpoint::flush`], instead
+    /// of one frame + syscall per send. Callers **must** then flush
+    /// before blocking on their inbox (the cluster node loop does).
+    pub batch: bool,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Reusable per-link outbound buffer: the encode scratch for immediate
+/// sends, or the accumulating batch body when batching is on.
+struct OutBuf {
+    /// Encoded bytes. In batch mode: a 9-byte frame-header placeholder
+    /// (`[u32 len][tag][u32 count]`, backpatched at flush) followed by
+    /// the queued envelope bodies.
+    buf: Vec<u8>,
+    /// Envelopes queued in `buf` (batch mode only).
+    queued: u32,
+}
+
+/// Batch frame header: length prefix + `TAG_BATCH` + count.
+const BATCH_HEADER_LEN: usize = 4 + 1 + 4;
+
 /// One directed writer slot; filled when the link's stream is up.
 struct Slot {
     stream: Mutex<Option<TcpStream>>,
     ready: Condvar,
+    out: Mutex<OutBuf>,
+    /// The peer disconnected (reader died or a write failed). There is
+    /// no reconnect in this mesh, so a dead link stays dead: sends fail
+    /// fast with [`NetError::Closed`] instead of waiting `link_timeout`
+    /// for a stream that can never come back.
+    dead: AtomicBool,
 }
 
 struct Shared {
@@ -80,6 +105,7 @@ struct Shared {
     threads: Mutex<Vec<JoinHandle<()>>>,
     listen_addr: SocketAddr,
     link_timeout: Duration,
+    batch: bool,
 }
 
 impl Shared {
@@ -95,16 +121,64 @@ impl Shared {
     /// Pump envelopes off one peer stream into the deliver sink until
     /// the stream dies or the endpoint closes.
     fn run_reader(&self, mut r: BufReader<TcpStream>, peer: NodeId) {
-        // Anything other than an envelope on a peer link is a protocol
-        // violation; Eof / Io covers orderly and disorderly disconnects.
-        while let Ok(Frame::Envelope(env)) = read_frame(&mut r) {
-            (self.deliver)(env);
+        // Anything other than an envelope (single or batched) on a peer
+        // link is a protocol violation; Eof / Io covers orderly and
+        // disorderly disconnects. Batch members are delivered in frame
+        // order, so link FIFO semantics are identical either way.
+        loop {
+            match read_frame(&mut r) {
+                Ok(Frame::Envelope(env)) => (self.deliver)(env),
+                Ok(Frame::Batch(envs)) => {
+                    for env in envs {
+                        (self.deliver)(env);
+                    }
+                }
+                _ => break,
+            }
         }
         if !self.closed.load(Ordering::Relaxed) {
-            // The peer is gone: drop the writer so sends fail fast
-            // instead of buffering into a dead socket.
-            lock(&self.slots[peer.idx()].stream).take();
+            // The peer is gone: drop the writer and mark the link dead
+            // so sends fail fast instead of buffering into a dead
+            // socket or waiting for a reconnect that cannot happen.
+            let slot = &self.slots[peer.idx()];
+            slot.dead.store(true, Ordering::SeqCst);
+            lock(&slot.stream).take();
+            slot.ready.notify_all();
         }
+    }
+
+    /// Record that the link to `peer` died mid-write.
+    fn kill_link(&self, peer: NodeId) {
+        let slot = &self.slots[peer.idx()];
+        slot.dead.store(true, Ordering::SeqCst);
+        lock(&slot.stream).take();
+        slot.ready.notify_all();
+    }
+
+    /// Wait (bounded by `link_timeout`) for the link to `to` to come up
+    /// and return the locked stream slot.
+    fn wait_stream(&self, to: NodeId) -> Result<MutexGuard<'_, Option<TcpStream>>, NetError> {
+        let slot = self.slots.get(to.idx()).ok_or(NetError::Closed(to))?;
+        let mut guard = lock(&slot.stream);
+        let deadline = Instant::now() + self.link_timeout;
+        while guard.is_none() {
+            if slot.dead.load(Ordering::SeqCst) {
+                return Err(NetError::Closed(to));
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() || self.closed.load(Ordering::Relaxed) {
+                return Err(NetError::Io(format!(
+                    "link {} → {to} not established within {:?}",
+                    self.me, self.link_timeout
+                )));
+            }
+            guard = slot
+                .ready
+                .wait_timeout(guard, left)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        Ok(guard)
     }
 }
 
@@ -136,12 +210,18 @@ impl TcpEndpoint {
                 .map(|_| Slot {
                     stream: Mutex::new(None),
                     ready: Condvar::new(),
+                    out: Mutex::new(OutBuf {
+                        buf: Vec::new(),
+                        queued: 0,
+                    }),
+                    dead: AtomicBool::new(false),
                 })
                 .collect(),
             closed: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
             listen_addr: cfg.listener.local_addr()?,
             link_timeout: cfg.link_timeout,
+            batch: cfg.batch,
         });
 
         // Acceptor: lower-numbered nodes dial us; control connections
@@ -242,6 +322,7 @@ fn handle_incoming(shared: &Arc<Shared>, stream: TcpStream) {
 
 impl Endpoint for TcpEndpoint {
     fn send(&self, to: NodeId, env: &Envelope) -> Result<(), NetError> {
+        use std::io::Write;
         let shared = &self.shared;
         if shared.closed.load(Ordering::Relaxed) {
             return Err(NetError::Closed(to));
@@ -251,28 +332,82 @@ impl Endpoint for TcpEndpoint {
             return Ok(());
         }
         let slot = shared.slots.get(to.idx()).ok_or(NetError::Closed(to))?;
-        let mut guard = lock(&slot.stream);
-        let deadline = Instant::now() + shared.link_timeout;
-        while guard.is_none() {
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() || shared.closed.load(Ordering::Relaxed) {
-                return Err(NetError::Io(format!(
-                    "link {} → {to} not established within {:?}",
-                    shared.me, shared.link_timeout
-                )));
-            }
-            guard = slot
-                .ready
-                .wait_timeout(guard, left)
-                .unwrap_or_else(|e| e.into_inner())
-                .0;
+        if slot.dead.load(Ordering::SeqCst) {
+            return Err(NetError::Closed(to));
         }
+        // Lock order everywhere: `out` before `stream`.
+        let mut out = lock(&slot.out);
+        if shared.batch {
+            // Queue into the link's batch body; nothing touches the
+            // socket (or waits for the link) until the next flush.
+            if out.queued == 0 {
+                out.buf.clear();
+                out.buf.extend_from_slice(&[0u8; BATCH_HEADER_LEN]);
+            }
+            crate::codec::put_envelope(&mut out.buf, env);
+            out.queued += 1;
+            return Ok(());
+        }
+        // Immediate path: encode into the link's reusable scratch
+        // buffer (no allocation once it has grown) and write through.
+        out.buf.clear();
+        encode_envelope_frame_into(env, &mut out.buf);
+        let mut guard = shared.wait_stream(to)?;
+        let stream = guard.as_mut().expect("wait_stream checked");
+        if stream.write_all(&out.buf).is_err() {
+            // A failed write means the peer hung up: the link is dead
+            // for good (no reconnect in this mesh), which callers treat
+            // as a routine shutdown-time condition.
+            drop(guard);
+            drop(out);
+            shared.kill_link(to);
+            return Err(NetError::Closed(to));
+        }
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
         use std::io::Write;
-        let stream = guard.as_mut().expect("checked above");
-        let bytes = encode_envelope_frame(env);
-        stream
-            .write_all(&bytes)
-            .map_err(|e| NetError::Io(format!("sending to {to}: {e}")))
+        let shared = &self.shared;
+        if !shared.batch {
+            return Ok(());
+        }
+        for (i, slot) in shared.slots.iter().enumerate() {
+            let to = NodeId(i as u16);
+            let mut out = lock(&slot.out);
+            if out.queued == 0 {
+                continue;
+            }
+            if shared.closed.load(Ordering::Relaxed) {
+                return Err(NetError::Closed(to));
+            }
+            if slot.dead.load(Ordering::SeqCst) {
+                // The peer hung up with envelopes still queued: they are
+                // "on the wire when the link died". Drop them and keep
+                // flushing the remaining live links.
+                out.buf.clear();
+                out.queued = 0;
+                continue;
+            }
+            // Backpatch the frame header over the placeholder: body is
+            // everything after the 4-byte length prefix.
+            let body_len = (out.buf.len() - 4) as u32;
+            let queued = out.queued;
+            out.buf[0..4].copy_from_slice(&body_len.to_le_bytes());
+            out.buf[4] = crate::codec::TAG_BATCH;
+            out.buf[5..9].copy_from_slice(&queued.to_le_bytes());
+            let mut guard = shared.wait_stream(to)?;
+            let stream = guard.as_mut().expect("wait_stream checked");
+            let write = stream.write_all(&out.buf);
+            out.buf.clear();
+            out.queued = 0;
+            if write.is_err() {
+                drop(guard);
+                drop(out);
+                shared.kill_link(to);
+            }
+        }
+        Ok(())
     }
 
     fn close(&self) {
@@ -307,6 +442,7 @@ pub struct TcpTransport {
     addrs: Vec<SocketAddr>,
     listeners: Vec<Option<TcpListener>>,
     link_timeout: Duration,
+    batch: bool,
 }
 
 impl TcpTransport {
@@ -323,7 +459,16 @@ impl TcpTransport {
             addrs,
             listeners,
             link_timeout: Duration::from_secs(10),
+            batch: false,
         })
+    }
+
+    /// Enable per-link envelope batching (see [`TcpMeshConfig::batch`]).
+    /// Endpoints bound afterwards coalesce their outbound envelopes and
+    /// rely on the node loop's [`Endpoint::flush`] discipline.
+    pub fn batched(mut self) -> Self {
+        self.batch = true;
+        self
     }
 
     /// The listen address of every node, indexed by node id.
@@ -349,6 +494,7 @@ impl Transport for TcpTransport {
                 listener,
                 peers: self.addrs.clone(),
                 link_timeout: self.link_timeout,
+                batch: self.batch,
             },
             deliver,
             None,

@@ -1,9 +1,11 @@
-//! The node threads, transport wiring and the blocking application API.
+//! The node threads, transport wiring and the application API
+//! (blocking and pipelined).
 
 use crate::node::{
     node_loop, poison_get, poison_set, AppReq, ClusterError, NodeCtx, ReplicaSnap, VersionClock,
     Wire,
 };
+use crate::shard::ShardConfig;
 use bytes::Bytes;
 use repmem_core::{NodeId, ObjectId, OpKind, OpTag, ProtocolKind, SystemParams};
 use repmem_net::{InProcTransport, MeterHandle, Transport};
@@ -16,10 +18,11 @@ use std::time::{Duration, Instant};
 /// Default [`Cluster::shutdown`] deadline for joining node threads.
 pub const DEFAULT_STOP_DEADLINE: Duration = Duration::from_secs(5);
 
-/// A running DSM cluster of `N+1` node threads over a pluggable
-/// transport.
+/// A running DSM cluster of `N + K` node threads (`N` clients plus `K`
+/// sequencer shards, `K = 1` by default) over a pluggable transport.
 pub struct Cluster {
     sys: SystemParams,
+    cfg: ShardConfig,
     txs: Vec<Sender<Wire>>,
     threads: Vec<JoinHandle<()>>,
     done_rx: Receiver<(NodeId, Vec<ReplicaSnap>)>,
@@ -59,6 +62,44 @@ impl ClusterDump {
     }
 }
 
+/// A completion ticket for a pipelined operation issued with
+/// [`Handle::read_async`] / [`Handle::write_async`].
+///
+/// The operation is already on its way when the ticket is handed out;
+/// [`Ticket::wait`] blocks until the protocol completes it and yields
+/// the replica value the operation observed (for writes, the data just
+/// written). Dropping a ticket abandons the result but not the
+/// operation — it still runs to completion at the node.
+#[must_use = "the operation runs regardless, but its result is in the ticket"]
+pub struct Ticket {
+    inner: TicketInner,
+}
+
+enum TicketInner {
+    /// The operation failed before it reached the node loop.
+    Ready(ClusterError),
+    Waiting {
+        rx: Receiver<Result<Bytes, ClusterError>>,
+        node: NodeId,
+        poison: Arc<Mutex<Option<ClusterError>>>,
+    },
+}
+
+impl Ticket {
+    /// Block until the operation completes.
+    pub fn wait(self) -> Result<Bytes, ClusterError> {
+        match self.inner {
+            TicketInner::Ready(e) => Err(e),
+            TicketInner::Waiting { rx, node, poison } => match rx.recv() {
+                Ok(result) => result,
+                // The node loop is gone: either it poisoned the cluster
+                // (report why) or it was shut down.
+                Err(_) => Err(poison_get(&poison).unwrap_or(ClusterError::NodeDown(node))),
+            },
+        }
+    }
+}
+
 /// A cloneable application-side handle bound to one node.
 #[derive(Clone)]
 pub struct Handle {
@@ -71,25 +112,39 @@ pub struct Handle {
 impl Handle {
     /// Read the shared object through this node's replica (blocking).
     pub fn read(&self, object: ObjectId) -> Result<Bytes, ClusterError> {
-        self.request(OpKind::Read, object, None)
+        self.read_async(object).wait()
     }
 
     /// Write the shared object (blocking until the protocol considers the
     /// operation issued; fire-and-forget protocols return as soon as the
     /// write is on the wire).
     pub fn write(&self, object: ObjectId, data: Bytes) -> Result<(), ClusterError> {
-        self.request(OpKind::Write, object, Some(data)).map(|_| ())
+        self.write_async(object, data).wait().map(|_| ())
     }
 
-    fn request(
-        &self,
-        op: OpKind,
-        object: ObjectId,
-        data: Option<Bytes>,
-    ) -> Result<Bytes, ClusterError> {
+    /// Issue a read without waiting for it. Up to the cluster's
+    /// configured window ([`ShardConfig::window`]) of operations run
+    /// concurrently per node; operations on the *same* object always
+    /// execute in the order they were issued from this node.
+    pub fn read_async(&self, object: ObjectId) -> Ticket {
+        self.request(OpKind::Read, object, None)
+    }
+
+    /// Issue a write without waiting for it (see [`Handle::read_async`]
+    /// for the ordering guarantees).
+    pub fn write_async(&self, object: ObjectId, data: Bytes) -> Ticket {
+        self.request(OpKind::Write, object, Some(data))
+    }
+
+    fn request(&self, op: OpKind, object: ObjectId, data: Option<Bytes>) -> Ticket {
         if let Some(e) = poison_get(&self.poison) {
-            return Err(e);
+            return Ticket {
+                inner: TicketInner::Ready(e),
+            };
         }
+        // Buffer of 1 lets the node loop complete the operation without
+        // blocking on a caller that has not reached `wait` yet (or
+        // dropped the ticket entirely).
         let (reply_tx, reply_rx) = sync_channel(1);
         let tag = OpTag(self.next_tag.fetch_add(1, Ordering::Relaxed));
         let req = AppReq {
@@ -98,39 +153,59 @@ impl Handle {
             data,
             reply: reply_tx,
         };
-        // A send or recv failure means the node loop is gone: either it
-        // poisoned the cluster (report why) or it was shut down.
         if self.tx.send(Wire::Local(req, tag)).is_err() {
-            return Err(poison_get(&self.poison).unwrap_or(ClusterError::NodeDown(self.node)));
+            return Ticket {
+                inner: TicketInner::Ready(
+                    poison_get(&self.poison).unwrap_or(ClusterError::NodeDown(self.node)),
+                ),
+            };
         }
-        match reply_rx.recv() {
-            Ok(result) => result,
-            Err(_) => Err(poison_get(&self.poison).unwrap_or(ClusterError::NodeDown(self.node))),
+        Ticket {
+            inner: TicketInner::Waiting {
+                rx: reply_rx,
+                node: self.node,
+                poison: Arc::clone(&self.poison),
+            },
         }
     }
 }
 
 impl Cluster {
-    /// Spawn the `N+1` node threads over the in-process transport.
+    /// Spawn the paper's `N+1` node threads over the in-process
+    /// transport (one sequencer, blocking operations).
     pub fn new(sys: SystemParams, kind: ProtocolKind) -> Cluster {
-        Cluster::with_transport(sys, kind, InProcTransport::new(sys.n_nodes()))
+        Cluster::with_config(sys, kind, ShardConfig::default())
+    }
+
+    /// Spawn `N + K` node threads over the in-process transport with
+    /// the given sharding/pipelining configuration.
+    pub fn with_config(sys: SystemParams, kind: ProtocolKind, cfg: ShardConfig) -> Cluster {
+        Cluster::with_transport(sys, kind, cfg, InProcTransport::new(cfg.total_nodes(&sys)))
             .expect("in-process transport cannot fail to bind")
     }
 
-    /// Spawn the `N+1` node threads over an arbitrary transport.
+    /// Spawn the `N + K` node threads over an arbitrary transport.
     ///
-    /// The transport decides the version-clock flavour: in-process
+    /// The transport must wire exactly [`ShardConfig::total_nodes`]
+    /// endpoints. It also decides the version-clock flavour: in-process
     /// backends share one global counter, socket backends run a Lamport
     /// clock per node (see `VersionClock` in the node module).
     pub fn with_transport(
         sys: SystemParams,
         kind: ProtocolKind,
+        cfg: ShardConfig,
         mut transport: impl Transport,
     ) -> Result<Cluster, ClusterError> {
-        let n = sys.n_nodes();
+        if cfg.shards == 0 || cfg.window == 0 {
+            return Err(ClusterError::Transport(format!(
+                "invalid shard config: {} shards, window {}",
+                cfg.shards, cfg.window
+            )));
+        }
+        let n = cfg.total_nodes(&sys);
         if transport.n_nodes() != n {
             return Err(ClusterError::Transport(format!(
-                "transport wires {} nodes but the system has {n}",
+                "transport wires {} nodes but the sharded system has {n}",
                 transport.n_nodes()
             )));
         }
@@ -163,6 +238,7 @@ impl Cluster {
                 me,
                 sys,
                 kind,
+                cfg,
                 endpoint,
                 Arc::clone(&cost),
                 Arc::clone(&messages),
@@ -178,6 +254,7 @@ impl Cluster {
         }
         Ok(Cluster {
             sys,
+            cfg,
             txs,
             threads,
             done_rx,
@@ -189,9 +266,11 @@ impl Cluster {
         })
     }
 
-    /// An application handle bound to `node`.
+    /// An application handle bound to `node` (clients *or* shards: a
+    /// sequencer shard is a full protocol node and may issue operations
+    /// like any client, exactly as the paper's home node does).
     pub fn handle(&self, node: NodeId) -> Handle {
-        assert!(node.idx() < self.sys.n_nodes(), "no such node");
+        assert!(node.idx() < self.txs.len(), "no such node");
         Handle {
             node,
             tx: self.txs[node.idx()].clone(),
@@ -215,6 +294,11 @@ impl Cluster {
         self.sys
     }
 
+    /// Sharding/pipelining configuration this cluster runs with.
+    pub fn shard_config(&self) -> ShardConfig {
+        self.cfg
+    }
+
     /// The first error that poisoned this cluster, if any.
     pub fn poisoned(&self) -> Option<ClusterError> {
         poison_get(&self.poison)
@@ -232,9 +316,10 @@ impl Cluster {
         self.shutdown_within(DEFAULT_STOP_DEADLINE)
     }
 
-    /// Stop all node threads, joining them with a deadline. If some
-    /// node fails to exit in time, the stragglers are reported by id in
-    /// [`ClusterError::StopTimeout`] (and left detached). A poisoned
+    /// Stop all node threads — clients and sequencer shards — joining
+    /// them with a deadline. If some node fails to exit in time, the
+    /// stragglers are reported per role (client vs. sequencer shard) in
+    /// [`ClusterError::StopTimeout`] and left detached. A poisoned
     /// cluster shuts down cleanly but reports the poison error.
     pub fn shutdown_within(mut self, deadline: Duration) -> Result<ClusterDump, ClusterError> {
         // The channels are FIFO, so a Stop behind in-flight
@@ -242,7 +327,7 @@ impl Cluster {
         for tx in &self.txs {
             let _ = tx.send(Wire::Stop);
         }
-        let n = self.sys.n_nodes();
+        let n = self.txs.len();
         let mut copies: Vec<Option<Vec<ReplicaSnap>>> = (0..n).map(|_| None).collect();
         let end = Instant::now() + deadline;
         let mut got = 0;
@@ -261,13 +346,17 @@ impl Cluster {
             }
         }
         if got < n {
-            let stragglers = copies
+            let map = self.cfg.map(&self.sys);
+            let (shard_stragglers, stragglers) = copies
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| c.is_none())
                 .map(|(i, _)| NodeId(i as u16))
-                .collect();
-            let err = ClusterError::StopTimeout { stragglers };
+                .partition(|&node| map.is_shard(node));
+            let err = ClusterError::StopTimeout {
+                stragglers,
+                shard_stragglers,
+            };
             poison_set(&self.poison, err.clone());
             // Leave the straggling threads detached: joining would hang.
             self.threads.clear();

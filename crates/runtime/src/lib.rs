@@ -36,6 +36,8 @@
 pub mod cluster;
 mod node;
 pub mod remote;
+pub mod shard;
 
-pub use cluster::{Cluster, ClusterDump, Handle, DEFAULT_STOP_DEADLINE};
+pub use cluster::{Cluster, ClusterDump, Handle, Ticket, DEFAULT_STOP_DEADLINE};
 pub use node::{ClusterError, ReplicaSnap};
+pub use shard::ShardConfig;

@@ -8,6 +8,7 @@
 //!
 //! [`Transport`]: repmem_net::Transport
 
+use crate::shard::{ShardConfig, ShardMap};
 use bytes::Bytes;
 use repmem_core::{
     Actions, CopyState, Dest, Msg, MsgKind, NodeId, ObjectId, OpKind, OpTag, PayloadKind,
@@ -35,8 +36,10 @@ pub enum ClusterError {
     NodeDown(NodeId),
     /// `shutdown` gave up waiting on node threads that never exited.
     StopTimeout {
-        /// Nodes that failed to stop within the deadline.
+        /// Client nodes that failed to stop within the deadline.
         stragglers: Vec<NodeId>,
+        /// Sequencer-shard nodes that failed to stop within the deadline.
+        shard_stragglers: Vec<NodeId>,
     },
     /// Transport-level failure while wiring or running the cluster.
     Transport(String),
@@ -49,13 +52,27 @@ impl std::fmt::Display for ClusterError {
                 write!(f, "cluster poisoned by {node}: {reason}")
             }
             ClusterError::NodeDown(node) => write!(f, "{node} is not running"),
-            ClusterError::StopTimeout { stragglers } => {
-                write!(f, "shutdown deadline expired; straggling nodes: ")?;
-                for (i, n) in stragglers.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
+            ClusterError::StopTimeout {
+                stragglers,
+                shard_stragglers,
+            } => {
+                write!(f, "shutdown deadline expired")?;
+                let list = |f: &mut std::fmt::Formatter<'_>, nodes: &[NodeId]| {
+                    for (i, n) in nodes.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{n}")?;
                     }
-                    write!(f, "{n}")?;
+                    Ok(())
+                };
+                if !stragglers.is_empty() {
+                    write!(f, "; straggling client nodes: ")?;
+                    list(f, stragglers)?;
+                }
+                if !shard_stragglers.is_empty() {
+                    write!(f, "; straggling sequencer shards: ")?;
+                    list(f, shard_stragglers)?;
                 }
                 Ok(())
             }
@@ -167,10 +184,13 @@ impl ReplicaSnap {
     }
 }
 
-/// The in-flight application operation at a node.
+/// One in-flight application operation at a node.
+///
+/// With pipelining (`window > 1`) a node keeps up to `window` of these,
+/// at most one per object — the per-object Mealy machine serializes its
+/// own operations, so the in-flight table is indexed by object.
 struct PendingApp {
     op: OpKind,
-    object: ObjectId,
     tag: OpTag,
     data: Option<Payload>,
     reply: SyncSender<Result<Bytes, ClusterError>>,
@@ -188,7 +208,13 @@ pub(crate) struct NodeCtx {
     pub messages: Arc<AtomicU64>,
     pub clock: VersionClock,
     pub poison: Poison,
-    pending: Option<PendingApp>,
+    shards: ShardMap,
+    /// Max in-flight application operations (`ShardConfig::window`).
+    window: usize,
+    /// In-flight table, one slot per object.
+    pending: Vec<Option<PendingApp>>,
+    /// Number of occupied `pending` slots.
+    in_flight: usize,
 }
 
 impl NodeCtx {
@@ -197,6 +223,7 @@ impl NodeCtx {
         me: NodeId,
         sys: SystemParams,
         kind: ProtocolKind,
+        cfg: ShardConfig,
         endpoint: Box<dyn Endpoint>,
         cost: Arc<AtomicU64>,
         messages: Arc<AtomicU64>,
@@ -204,16 +231,20 @@ impl NodeCtx {
         poison: Poison,
     ) -> NodeCtx {
         let proto = protocol(kind);
-        let role = if me == sys.home() {
-            repmem_core::Role::Sequencer
-        } else {
-            repmem_core::Role::Client
-        };
+        let shards = cfg.map(&sys);
         let procs = (0..sys.m_objects)
-            .map(|_| Proc {
-                state: proto.initial_state(role),
-                owner: sys.home(),
-                copy: Payload::initial(),
+            .map(|obj| {
+                let home = shards.home_of(ObjectId(obj as u32));
+                let role = if me == home {
+                    repmem_core::Role::Sequencer
+                } else {
+                    repmem_core::Role::Client
+                };
+                Proc {
+                    state: proto.initial_state(role),
+                    owner: home,
+                    copy: Payload::initial(),
+                }
             })
             .collect();
         NodeCtx {
@@ -226,7 +257,10 @@ impl NodeCtx {
             messages,
             clock,
             poison,
-            pending: None,
+            shards,
+            window: cfg.window.max(1),
+            pending: (0..sys.m_objects).map(|_| None).collect(),
+            in_flight: 0,
         }
     }
 }
@@ -234,8 +268,10 @@ impl NodeCtx {
 struct NodeHost<'a> {
     me: NodeId,
     sys: SystemParams,
+    shards: ShardMap,
     endpoint: &'a dyn Endpoint,
     proc_: &'a mut Proc,
+    /// The in-flight operation *for this step's object*, if any.
     pending: &'a mut Option<PendingApp>,
     env: &'a Envelope,
     cost: &'a AtomicU64,
@@ -291,10 +327,12 @@ impl Actions for NodeHost<'_> {
         self.me
     }
     fn home(&self) -> NodeId {
-        self.sys.home()
+        // Per-object home: the sequencer shard this step's object hashes
+        // to. With one shard this is the paper's fixed node N.
+        self.shards.home_of(self.env.msg.object)
     }
     fn n_nodes(&self) -> usize {
-        self.sys.n_nodes()
+        self.shards.n_nodes()
     }
     fn owner(&self) -> NodeId {
         self.proc_.owner
@@ -316,7 +354,7 @@ impl Actions for NodeHost<'_> {
         }
         let receivers: Vec<NodeId> = match dest {
             Dest::To(n) => vec![n],
-            Dest::AllExcept(a, b) => (0..self.sys.n_nodes() as u16)
+            Dest::AllExcept(a, b) => (0..self.shards.n_nodes() as u16)
                 .map(NodeId)
                 .filter(|&n| n != a && Some(n) != b)
                 .collect(),
@@ -408,9 +446,10 @@ impl NodeCtx {
         let mut host = NodeHost {
             me: self.me,
             sys: self.sys,
+            shards: self.shards,
             endpoint: self.endpoint.as_ref(),
             proc_: &mut self.procs[idx],
-            pending: &mut self.pending,
+            pending: &mut self.pending[idx],
             env,
             cost: &self.cost,
             messages: &self.messages,
@@ -437,12 +476,13 @@ impl NodeCtx {
             self.clock.observe(c.version);
         }
         let (returned, enabled) = self.step(&env)?;
-        self.complete_if_done(returned, enabled, env.msg.op);
+        self.complete_if_done(returned, enabled, env.msg.object, env.msg.op);
         Ok(())
     }
 
-    fn complete_if_done(&mut self, returned: bool, enabled: bool, tag: OpTag) {
-        let Some(p) = self.pending.as_ref() else {
+    fn complete_if_done(&mut self, returned: bool, enabled: bool, object: ObjectId, tag: OpTag) {
+        let idx = self.proc_index(object);
+        let Some(p) = self.pending.get(idx).and_then(Option::as_ref) else {
             return;
         };
         if p.tag != tag {
@@ -453,20 +493,28 @@ impl NodeCtx {
             OpKind::Write => enabled || !p.blocked,
         };
         if done {
-            let p = self.pending.take().expect("checked above");
-            let value = self.procs[self.proc_index(p.object)].copy.data.clone();
+            let p = self.pending[idx].take().expect("checked above");
+            self.in_flight -= 1;
+            let value = self.procs[idx].copy.data.clone();
             let _ = p.reply.send(Ok(value));
         }
     }
 
     fn handle_app(&mut self, req: AppReq, tag: OpTag) -> Result<(), String> {
-        if self.pending.is_some() {
+        let idx = self.proc_index(req.object);
+        if idx >= self.procs.len() {
             return Err(format!(
-                "{}: second application operation started while one is in flight",
-                self.me
+                "operation on out-of-range {} (cluster has {} objects)",
+                req.object, self.sys.m_objects
             ));
         }
-        let is_home = self.me == self.sys.home();
+        if self.pending[idx].is_some() {
+            return Err(format!(
+                "{}: second operation on {} started while one is in flight",
+                self.me, req.object
+            ));
+        }
+        let is_home = self.me == self.shards.home_of(req.object);
         let kind = match req.op {
             OpKind::Read => MsgKind::RReq,
             OpKind::Write => MsgKind::WReq,
@@ -479,14 +527,14 @@ impl NodeCtx {
             version: 0,
             writer: self.me,
         });
-        self.pending = Some(PendingApp {
+        self.pending[idx] = Some(PendingApp {
             op: req.op,
-            object: req.object,
             tag,
             data,
             reply: req.reply,
             blocked: false,
         });
+        self.in_flight += 1;
         let env = Envelope {
             msg,
             params: None,
@@ -494,8 +542,63 @@ impl NodeCtx {
             clock: self.clock.now(),
         };
         let (returned, enabled) = self.step(&env)?;
-        self.complete_if_done(returned, enabled, tag);
+        self.complete_if_done(returned, enabled, req.object, tag);
         Ok(())
+    }
+
+    /// Start the first backlogged operation that can run now: the node
+    /// has a free window slot, no operation is in flight on its object,
+    /// and no *earlier* backlog entry targets the same object (per-object
+    /// program order). Returns whether an operation was started.
+    fn start_from_backlog(
+        &mut self,
+        backlog: &mut VecDeque<(AppReq, OpTag)>,
+    ) -> Result<bool, String> {
+        if self.in_flight >= self.window {
+            return Ok(false);
+        }
+        let mut pick = None;
+        for (i, (req, _)) in backlog.iter().enumerate() {
+            let idx = self.proc_index(req.object);
+            let object_free = self.pending.get(idx).is_none_or(|p| p.is_none())
+                && !backlog
+                    .iter()
+                    .take(i)
+                    .any(|(earlier, _)| earlier.object == req.object);
+            if object_free {
+                pick = Some(i);
+                break;
+            }
+        }
+        let Some(i) = pick else {
+            return Ok(false);
+        };
+        let (req, tag) = backlog.remove(i).expect("index in range");
+        self.handle_app(req, tag)?;
+        Ok(true)
+    }
+
+    /// Push buffered outbound frames onto the wire (no-op for
+    /// non-batching endpoints). A closed link during shutdown is
+    /// routine; anything else poisons the cluster.
+    fn flush_outbound(&mut self) -> Result<(), String> {
+        match self.endpoint.flush() {
+            Ok(()) | Err(repmem_net::NetError::Closed(_)) => Ok(()),
+            Err(e) => Err(format!("outbound flush failed: {e}")),
+        }
+    }
+
+    /// Fail every in-flight and backlogged caller with `err`.
+    fn fail_all(&mut self, backlog: &mut VecDeque<(AppReq, OpTag)>, err: &ClusterError) {
+        for slot in &mut self.pending {
+            if let Some(p) = slot.take() {
+                self.in_flight -= 1;
+                let _ = p.reply.send(Err(err.clone()));
+            }
+        }
+        for (req, _) in backlog.drain(..) {
+            let _ = req.reply.send(Err(err.clone()));
+        }
     }
 }
 
@@ -519,12 +622,7 @@ pub(crate) fn node_loop(
             reason,
         };
         poison_set(&ctx.poison, err.clone());
-        if let Some(p) = ctx.pending.take() {
-            let _ = p.reply.send(Err(err.clone()));
-        }
-        for (req, _) in backlog.drain(..) {
-            let _ = req.reply.send(Err(err.clone()));
-        }
+        ctx.fail_all(&mut backlog, &err);
         // Fail late arrivals that were already queued behind the error.
         while let Ok(wire) = rx.try_recv() {
             if let Wire::Local(req, _) = wire {
@@ -532,6 +630,9 @@ pub(crate) fn node_loop(
             }
         }
     }
+    // Push out anything still buffered (batching endpoints) so peers
+    // aren't left waiting on messages this node already "sent".
+    let _ = ctx.endpoint.flush();
     let snaps = ctx
         .procs
         .into_iter()
@@ -562,13 +663,15 @@ fn run_loop(
                 Err(TryRecvError::Disconnected) => return Ok(()),
             }
         }
-        // Start the next local request only when none is in flight.
-        if ctx.pending.is_none() {
-            if let Some((req, tag)) = backlog.pop_front() {
-                ctx.handle_app(req, tag)?;
-                continue;
-            }
+        // Start backlogged local requests while window slots are free,
+        // preserving per-object program order.
+        if ctx.start_from_backlog(backlog)? {
+            continue;
         }
+        // About to block: everything this iteration produced must be on
+        // the wire first, or a batching endpoint would deadlock the
+        // cluster (every node waiting on a neighbour's buffered frame).
+        ctx.flush_outbound()?;
         match rx.recv() {
             Ok(Wire::Net(env)) => ctx.handle_env(env)?,
             Ok(Wire::Local(req, tag)) => backlog.push_back((req, tag)),

@@ -98,6 +98,7 @@ pub fn serve(cfg: ServeConfig) -> Result<(), ClusterError> {
             listener: cfg.listener,
             peers: cfg.peers,
             link_timeout: cfg.link_timeout,
+            batch: false,
         },
         deliver,
         Some(ctrl),
@@ -108,6 +109,9 @@ pub fn serve(cfg: ServeConfig) -> Result<(), ClusterError> {
         cfg.me,
         cfg.sys,
         cfg.kind,
+        // The multi-process cluster runs the paper's exact topology:
+        // one sequencer, blocking operations.
+        crate::shard::ShardConfig::default(),
         Box::new(endpoint),
         cost,
         messages,

@@ -1,0 +1,152 @@
+//! Sequencer sharding and pipelining configuration.
+//!
+//! The paper's model funnels every coherence action for every object
+//! through one sequencer node. Per-object serialization is all the
+//! protocols actually require, though: two different objects never share
+//! a protocol process, a queue entry or a copy, so their sequencing
+//! points are independent. [`ShardConfig`] exploits that by splitting
+//! the sequencer role across `K` *shard* nodes, partitioning `ObjectId`s
+//! by hash — each object still has exactly one sequencing point, so
+//! coherence per object is untouched, but disjoint objects stop
+//! contending for one node's queue.
+//!
+//! Topology: a cluster has `N` client nodes (`0..N`) followed by `K`
+//! shard nodes (`N..N+K`). With `K = 1` the single shard *is* the
+//! paper's home node `N`, the topology is the paper's `N+1` nodes, and
+//! every message, cost unit and replica is identical to the unsharded
+//! model — `K = 1` stays the default for all model-agreement tests.
+//! With `K > 1` the only cost-model change is that broadcast waves
+//! (invalidations, updates) now also cover the other `K-1` shard nodes,
+//! which hold ordinary client-role replicas of foreign objects; see
+//! DESIGN.md for the cost accounting.
+//!
+//! `window` caps how many application operations one node keeps in
+//! flight ([`crate::Handle::read_async`]); `window = 1` reproduces the
+//! paper's strictly blocking local queue.
+
+use repmem_core::{NodeId, ObjectId, SystemParams};
+
+/// Sharding and pipelining parameters of a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// `K` — number of sequencer shard nodes (`>= 1`). Objects are
+    /// partitioned over the shards by hash; `K = 1` is the paper's
+    /// single home sequencer.
+    pub shards: usize,
+    /// `W` — maximum application operations one node keeps in flight
+    /// (`>= 1`). Per-object program order is always preserved; `W = 1`
+    /// is the paper's blocking local queue.
+    pub window: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            window: 1,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// `K` sequencer shards, blocking window.
+    pub fn new(shards: usize) -> Self {
+        ShardConfig { shards, window: 1 }
+    }
+
+    /// Set the per-node in-flight operation window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Total nodes of the sharded topology: `N` clients + `K` shards.
+    pub fn total_nodes(&self, sys: &SystemParams) -> usize {
+        sys.n_clients + self.shards
+    }
+
+    /// The routing map for this configuration.
+    pub(crate) fn map(&self, sys: &SystemParams) -> ShardMap {
+        ShardMap {
+            n_clients: sys.n_clients,
+            shards: self.shards,
+        }
+    }
+}
+
+/// Object → sequencer-shard routing shared by every node of a cluster.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardMap {
+    n_clients: usize,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Total nodes: clients plus shards.
+    pub fn n_nodes(&self) -> usize {
+        self.n_clients + self.shards
+    }
+
+    /// The sequencer shard serving `object` — the paper's "home" from
+    /// that object's point of view. With one shard this is node `N`.
+    pub fn home_of(&self, object: ObjectId) -> NodeId {
+        // Fibonacci hashing spreads consecutive object ids evenly over
+        // the shards; with shards == 1 it degenerates to node N.
+        let h = (object.0 as u64 ^ 0x5851_F42D).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+        NodeId((self.n_clients + (h % self.shards as u64) as usize) as u16)
+    }
+
+    /// Whether `node` is one of the sequencer shards.
+    pub fn is_shard(&self, node: NodeId) -> bool {
+        node.idx() >= self.n_clients
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_is_the_paper_home() {
+        let sys = SystemParams::new(4, 100, 30);
+        let map = ShardConfig::default().map(&sys);
+        assert_eq!(map.n_nodes(), sys.n_nodes());
+        for obj in 0..64 {
+            assert_eq!(map.home_of(ObjectId(obj)), sys.home());
+        }
+        assert!(map.is_shard(sys.home()));
+        assert!(!map.is_shard(NodeId(0)));
+    }
+
+    #[test]
+    fn sharded_topology_partitions_objects() {
+        let sys = SystemParams {
+            n_clients: 4,
+            s: 64,
+            p: 16,
+            m_objects: 32,
+        };
+        let cfg = ShardConfig::new(3);
+        assert_eq!(cfg.total_nodes(&sys), 7);
+        let map = cfg.map(&sys);
+        let mut seen = [0usize; 3];
+        for obj in 0..32 {
+            let home = map.home_of(ObjectId(obj));
+            assert!(home.idx() >= 4 && home.idx() < 7, "home {home} off range");
+            assert!(map.is_shard(home));
+            seen[home.idx() - 4] += 1;
+            // Routing is deterministic.
+            assert_eq!(map.home_of(ObjectId(obj)), home);
+        }
+        assert!(
+            seen.iter().all(|&c| c > 0),
+            "hash partition left a shard empty: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn window_builder() {
+        let cfg = ShardConfig::new(2).with_window(8);
+        assert_eq!((cfg.shards, cfg.window), (2, 8));
+    }
+}

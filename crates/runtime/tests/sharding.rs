@@ -1,0 +1,293 @@
+//! Sharded-sequencer and pipelined-handle semantics.
+//!
+//! The load-bearing guarantee: `K = 1` (the default) reproduces the
+//! paper's single-sequencer runtime *op for op* — same per-operation
+//! cost deltas, same message totals, same final replicas — on the
+//! Table 7 workload, over plain and batched wire paths alike. On top of
+//! that, `K > 1` keeps every coherence invariant (each object still has
+//! exactly one sequencing point) and `W > 1` pipelining preserves
+//! per-object program order.
+
+use bytes::Bytes;
+use repmem_core::{NodeId, ObjectId, OpKind, ProtocolKind, Scenario, SystemParams};
+use repmem_net::{InProcTransport, MeteredTransport, TcpTransport, Transport};
+use repmem_runtime::{Cluster, ClusterError, ShardConfig};
+use repmem_workload::{OpEvent, ScenarioSampler};
+use std::time::Duration;
+
+/// The paper's Table 7 shape, scaled to the object count the runtime
+/// agreement suite uses.
+fn sys() -> SystemParams {
+    SystemParams {
+        n_clients: 3,
+        s: 100,
+        p: 30,
+        m_objects: 20,
+    }
+}
+
+/// Table 7 read-disturbance cell, seeded.
+fn workload(sys: &SystemParams, ops: usize) -> Vec<OpEvent> {
+    let sc = Scenario::read_disturbance(0.4, 0.2, 2).expect("valid Table 7 cell");
+    ScenarioSampler::new(&sc, sys.m_objects, 77)
+        .take(ops)
+        .collect()
+}
+
+fn settle(cluster: &Cluster) -> u64 {
+    let mut last = cluster.total_cost();
+    loop {
+        std::thread::sleep(Duration::from_millis(3));
+        let now = cluster.total_cost();
+        if now == last {
+            return now;
+        }
+        last = now;
+    }
+}
+
+struct RunTrace {
+    per_op_cost: Vec<u64>,
+    total_cost: u64,
+    total_messages: u64,
+    finals: Vec<Vec<Bytes>>,
+}
+
+/// Serialized run of the seeded workload, recording each operation's
+/// settled cost delta (only the first `n_clients + 1` nodes' replicas
+/// enter `finals`, so traces are comparable across shard counts).
+fn run(
+    kind: ProtocolKind,
+    cfg: ShardConfig,
+    transport: impl Transport,
+    ops: &[OpEvent],
+) -> RunTrace {
+    let cluster = Cluster::with_transport(sys(), kind, cfg, transport).expect("cluster");
+    let mut per_op_cost = Vec::with_capacity(ops.len());
+    let mut before = 0u64;
+    for (i, ev) in ops.iter().enumerate() {
+        let h = cluster.handle(ev.node);
+        match ev.op {
+            OpKind::Read => {
+                let _ = h.read(ev.object).expect("read");
+            }
+            OpKind::Write => h
+                .write(ev.object, Bytes::from(format!("op{i}@{}", ev.node)))
+                .expect("write"),
+        }
+        let after = settle(&cluster);
+        per_op_cost.push(after - before);
+        before = after;
+    }
+    let total_cost = cluster.total_cost();
+    let total_messages = cluster.total_messages();
+    let dump = cluster.shutdown().expect("shutdown");
+    assert!(dump.is_coherent(), "{kind:?}: replicas diverged");
+    let finals = dump
+        .copies
+        .iter()
+        .take(sys().n_nodes())
+        .map(|node| node.iter().map(|r| r.data.clone()).collect())
+        .collect();
+    RunTrace {
+        per_op_cost,
+        total_cost,
+        total_messages,
+        finals,
+    }
+}
+
+#[test]
+fn k1_sharded_is_op_for_op_identical_to_the_seed_runtime() {
+    let sys = sys();
+    let ops = workload(&sys, 40);
+    for kind in [
+        ProtocolKind::WriteOnce,
+        ProtocolKind::Berkeley,
+        ProtocolKind::Dragon,
+    ] {
+        let seed = run(
+            kind,
+            ShardConfig::default(),
+            InProcTransport::new(sys.n_nodes()),
+            &ops,
+        );
+        let sharded = run(
+            kind,
+            ShardConfig::new(1),
+            InProcTransport::new(sys.n_nodes()),
+            &ops,
+        );
+        assert_eq!(seed.per_op_cost, sharded.per_op_cost, "{kind:?}");
+        assert_eq!(seed.total_cost, sharded.total_cost, "{kind:?}");
+        assert_eq!(seed.total_messages, sharded.total_messages, "{kind:?}");
+        assert_eq!(seed.finals, sharded.finals, "{kind:?}");
+    }
+}
+
+#[test]
+fn k1_batched_tcp_agrees_with_in_process_exactly() {
+    let sys = sys();
+    let ops = workload(&sys, 30);
+    for kind in [ProtocolKind::WriteThroughV, ProtocolKind::Illinois] {
+        let inproc = run(
+            kind,
+            ShardConfig::default(),
+            InProcTransport::new(sys.n_nodes()),
+            &ops,
+        );
+        let batched = run(
+            kind,
+            ShardConfig::default(),
+            TcpTransport::loopback(sys.n_nodes())
+                .expect("loopback mesh")
+                .batched(),
+            &ops,
+        );
+        assert_eq!(
+            inproc.per_op_cost, batched.per_op_cost,
+            "{kind:?}: batching changed per-operation costs"
+        );
+        assert_eq!(inproc.total_cost, batched.total_cost, "{kind:?}");
+        assert_eq!(inproc.total_messages, batched.total_messages, "{kind:?}");
+        assert_eq!(inproc.finals, batched.finals, "{kind:?}");
+    }
+}
+
+#[test]
+fn k2_cluster_stays_coherent_and_partitions_sequencing() {
+    let sys = sys();
+    let cfg = ShardConfig::new(2);
+    for kind in [ProtocolKind::WriteOnce, ProtocolKind::Berkeley] {
+        let transport = MeteredTransport::new(InProcTransport::new(cfg.total_nodes(&sys)));
+        let meter = transport.stats();
+        let cluster = Cluster::with_transport(sys, kind, cfg, transport).expect("cluster");
+        for (i, ev) in workload(&sys, 60).into_iter().enumerate() {
+            let h = cluster.handle(ev.node);
+            match ev.op {
+                OpKind::Read => {
+                    let _ = h.read(ev.object).expect("read");
+                }
+                OpKind::Write => h
+                    .write(ev.object, Bytes::from(format!("{i}")))
+                    .expect("write"),
+            }
+        }
+        settle(&cluster);
+        // Per-shard reconciliation: the meter's per-class counts still
+        // fold through the cost model exactly, and both shards carry
+        // real sequencing traffic (requests arrive *at* each shard).
+        assert_eq!(meter.model_cost(&sys), cluster.total_cost(), "{kind:?}");
+        for shard in [NodeId(3), NodeId(4)] {
+            assert!(
+                meter.to_node(shard).msgs() > 0,
+                "{kind:?}: {shard} received no traffic — objects not partitioned"
+            );
+        }
+        let dump = cluster.shutdown().expect("shutdown");
+        assert!(dump.is_coherent(), "{kind:?}: K=2 replicas diverged");
+    }
+}
+
+#[test]
+fn pipelined_ops_preserve_per_object_program_order() {
+    let sys = sys();
+    for kind in [ProtocolKind::WriteOnce, ProtocolKind::Dragon] {
+        let cluster = Cluster::with_config(sys, kind, ShardConfig::new(2).with_window(8));
+        let h = cluster.handle(NodeId(0));
+        let obj = ObjectId(5);
+        // Interleave async writes and reads on ONE object: every read
+        // must observe exactly the write issued just before it, even
+        // with eight operations' worth of window available.
+        let mut pairs = Vec::new();
+        for i in 0..24u32 {
+            let val = Bytes::from(i.to_le_bytes().to_vec());
+            let wt = h.write_async(obj, val.clone());
+            let rt = h.read_async(obj);
+            pairs.push((wt, rt, val));
+        }
+        for (i, (wt, rt, val)) in pairs.into_iter().enumerate() {
+            wt.wait().expect("write");
+            assert_eq!(rt.wait().expect("read"), val, "{kind:?}: op pair {i}");
+        }
+        cluster.shutdown().expect("shutdown");
+    }
+}
+
+#[test]
+fn pipelined_ops_on_distinct_objects_all_complete() {
+    let sys = sys();
+    let cluster = Cluster::with_config(
+        sys,
+        ProtocolKind::Berkeley,
+        ShardConfig::new(2).with_window(8),
+    );
+    let h = cluster.handle(NodeId(1));
+    // More tickets than the window: the backlog must feed the in-flight
+    // table as slots free up, across both shards.
+    let tickets: Vec<_> = (0..sys.m_objects as u32)
+        .map(|o| h.write_async(ObjectId(o), Bytes::from(o.to_le_bytes().to_vec())))
+        .collect();
+    for (o, t) in tickets.into_iter().enumerate() {
+        t.wait().unwrap_or_else(|e| panic!("write {o}: {e}"));
+    }
+    let tickets: Vec<_> = (0..sys.m_objects as u32)
+        .map(|o| h.read_async(ObjectId(o)))
+        .collect();
+    for (o, t) in tickets.into_iter().enumerate() {
+        let got = t.wait().unwrap_or_else(|e| panic!("read {o}: {e}"));
+        assert_eq!(
+            got,
+            Bytes::from((o as u32).to_le_bytes().to_vec()),
+            "object {o}"
+        );
+    }
+    cluster.shutdown().expect("shutdown");
+}
+
+#[test]
+fn shutdown_with_in_flight_pipelined_ops_neither_hangs_nor_leaks_tickets() {
+    let sys = sys();
+    let cluster = Cluster::with_config(
+        sys,
+        ProtocolKind::WriteOnce,
+        ShardConfig::new(2).with_window(8),
+    );
+    let h = cluster.handle(NodeId(0));
+    // Fire a window's worth of operations and shut down immediately:
+    // the deadline must hold, and every ticket must resolve — either
+    // the operation finished before the stop, or it reports the node
+    // gone. Nothing may hang.
+    let tickets: Vec<_> = (0..16u32)
+        .map(|i| h.write_async(ObjectId(i % 4), Bytes::from(vec![i as u8])))
+        .collect();
+    let start = std::time::Instant::now();
+    let res = cluster.shutdown_within(Duration::from_secs(5));
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown blew its deadline"
+    );
+    match res {
+        Ok(_) | Err(ClusterError::NodeDown(_)) => {}
+        Err(e) => panic!("unexpected shutdown result: {e}"),
+    }
+    for t in tickets {
+        match t.wait() {
+            Ok(_) | Err(ClusterError::NodeDown(_)) => {}
+            Err(e) => panic!("ticket resolved with unexpected error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn stop_timeout_reports_stragglers_per_role() {
+    // The error's rendering is part of the operator contract: client
+    // nodes and sequencer shards are listed separately.
+    let err = ClusterError::StopTimeout {
+        stragglers: vec![NodeId(0), NodeId(2)],
+        shard_stragglers: vec![NodeId(3)],
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("straggling client nodes: n0, n2"), "{msg}");
+    assert!(msg.contains("straggling sequencer shards: n3"), "{msg}");
+}

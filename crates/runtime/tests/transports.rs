@@ -10,7 +10,7 @@ use repmem_core::{OpKind, ProtocolKind, Scenario, SystemParams};
 use repmem_net::{
     DelayConfig, DelayTransport, InProcTransport, MeteredTransport, TcpTransport, Transport,
 };
-use repmem_runtime::Cluster;
+use repmem_runtime::{Cluster, ShardConfig};
 use repmem_workload::{OpEvent, ScenarioSampler};
 use std::time::Duration;
 
@@ -59,7 +59,8 @@ struct RunTrace {
 /// Serialized run of the seeded workload: one operation at a time,
 /// settling in between, recording each operation's settled cost delta.
 fn run(kind: ProtocolKind, transport: impl Transport, ops: &[OpEvent]) -> RunTrace {
-    let cluster = Cluster::with_transport(sys(), kind, transport).expect("cluster");
+    let cluster =
+        Cluster::with_transport(sys(), kind, ShardConfig::default(), transport).expect("cluster");
     let mut per_op_cost = Vec::with_capacity(ops.len());
     let mut before = 0u64;
     for (i, ev) in ops.iter().enumerate() {
@@ -213,7 +214,13 @@ fn wrappers_compose_and_expose_the_meter_through_the_stack() {
             max: Duration::from_micros(100),
         },
     ));
-    let cluster = Cluster::with_transport(sys, ProtocolKind::Synapse, transport).expect("cluster");
+    let cluster = Cluster::with_transport(
+        sys,
+        ProtocolKind::Synapse,
+        ShardConfig::default(),
+        transport,
+    )
+    .expect("cluster");
     assert!(cluster.meter().is_some(), "meter lost through the stack");
     let h = cluster.handle(repmem_core::NodeId(0));
     h.write(repmem_core::ObjectId(0), Bytes::from_static(b"x"))

@@ -221,16 +221,28 @@ impl Bencher {
     }
 }
 
+/// CI smoke mode: `REPMEM_BENCH_SMOKE=1` clamps every benchmark to one
+/// sample over tiny time budgets, so `cargo bench` doubles as a fast
+/// "do all bench targets still run end to end" check.
+fn smoke_mode() -> bool {
+    std::env::var("REPMEM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 fn run_one<F>(
     id: &str,
-    sample_size: usize,
-    measurement_time: Duration,
-    warm_up_time: Duration,
+    mut sample_size: usize,
+    mut measurement_time: Duration,
+    mut warm_up_time: Duration,
     f: &mut F,
 ) -> Duration
 where
     F: FnMut(&mut Bencher),
 {
+    if smoke_mode() {
+        sample_size = 1;
+        measurement_time = Duration::from_millis(50);
+        warm_up_time = Duration::from_millis(10);
+    }
     // Warm-up: single iterations until the warm-up budget is spent; the
     // timings also size the per-sample iteration count.
     let warm_start = Instant::now();

@@ -45,7 +45,8 @@ fn main() {
 fn run(sys: SystemParams, kind: ProtocolKind, label: &str, transport: impl repmem::net::Transport) {
     let metered = MeteredTransport::new(transport);
     let meter = metered.stats();
-    let cluster = Cluster::with_transport(sys, kind, metered).expect("cluster");
+    let cluster =
+        Cluster::with_transport(sys, kind, ShardConfig::default(), metered).expect("cluster");
     let writer = cluster.handle(NodeId(0));
     let reader = cluster.handle(NodeId(2));
     for round in 0..8u32 {

@@ -74,7 +74,7 @@ pub mod prelude {
         Scenario, SystemParams,
     };
     pub use repmem_protocols::{all_protocols, protocol};
-    pub use repmem_runtime::{Cluster, ClusterDump, ClusterError, Handle};
+    pub use repmem_runtime::{Cluster, ClusterDump, ClusterError, Handle, ShardConfig, Ticket};
     pub use repmem_sim::{replay, simulate, IssueMode, SimConfig, SimReport};
     pub use repmem_workload::{per_node_mix, OpEvent, ScenarioSampler};
 }
