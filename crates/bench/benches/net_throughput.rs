@@ -9,7 +9,7 @@ use repmem_core::{
     Msg, MsgKind, NodeId, ObjectId, OpTag, PayloadKind, ProtocolKind, QueueKind, SystemParams,
 };
 use repmem_net::codec::{decode_frame, encode_envelope_frame};
-use repmem_net::{Envelope, InProcTransport, Payload, TcpTransport};
+use repmem_net::{Envelope, FaultSchedule, FaultTransport, InProcTransport, Payload, TcpTransport};
 use repmem_runtime::{Cluster, ShardConfig};
 use std::hint::black_box;
 use std::time::Duration;
@@ -95,6 +95,20 @@ fn bench_transports(c: &mut Criterion) {
             kind,
             ShardConfig::default(),
             TcpTransport::loopback(sys.n_nodes()).expect("loopback mesh"),
+        )
+        .expect("cluster");
+        b.iter(|| drive(&cluster));
+        cluster.shutdown().unwrap();
+    });
+    // The fault-injection layer when no fault is scheduled: one atomic
+    // counter bump plus one mutex-guarded map check per send. This is
+    // the full price of keeping faults injectable on every link.
+    g.bench_function("inproc_fault_layer", |b| {
+        let cluster = Cluster::with_transport(
+            sys,
+            kind,
+            ShardConfig::default(),
+            FaultTransport::new(InProcTransport::new(sys.n_nodes()), FaultSchedule::new()),
         )
         .expect("cluster");
         b.iter(|| drive(&cluster));

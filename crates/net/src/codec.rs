@@ -319,20 +319,29 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
+    /// `take` as a fixed-size array; the length mismatch arm is
+    /// unreachable (`take` returned exactly `N` bytes) but mapped to a
+    /// `CodecError` rather than a panic — decode never unwraps.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| CodecError::Malformed(format!("internal: take({N}) length mismatch")))
+    }
+
     fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     fn bytes(&mut self) -> Result<Bytes, CodecError> {

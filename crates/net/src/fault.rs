@@ -1,0 +1,329 @@
+//! Deterministic fault injection: scripted link severs, endpoint kills
+//! and delivery stalls over any inner transport.
+//!
+//! [`FaultTransport`] wraps a transport and consults a shared
+//! [`FaultSchedule`] on every send. The schedule is a list of
+//! [`FaultEvent`]s keyed by the cluster-wide *send-attempt counter*:
+//! every `Endpoint::send` call (including one that will fail) advances
+//! the counter by exactly one and fires every event whose trigger it
+//! crosses, so a given workload always experiences the faults at the
+//! same points in its communication pattern — no wall clocks, no
+//! randomness in the trigger.
+//!
+//! Fault semantics:
+//!
+//! * **Sever** — the unordered node pair's link drops. Sends in either
+//!   direction fail with the *transient* [`NetError::Closed`] and
+//!   nothing is delivered; a later **Restore** brings the link back.
+//!   Messages that failed while severed were never on the wire, so FIFO
+//!   order on the surviving segments (and on the restored link, for
+//!   everything accepted after the restore) is untouched — exactly the
+//!   paper's fault-free FIFO channel, interrupted and resumed.
+//! * **Kill** — the endpoint is gone for good. Sends to it (and from
+//!   it) fail with the *permanent* [`NetError::Down`]; there is no
+//!   restore.
+//! * **DelayBurst** — the next `sends` send calls each stall for `dur`
+//!   before forwarding. The stall happens on the sending node's thread,
+//!   so per-link FIFO order is preserved; only time stretches.
+//!
+//! Self-sends (`to == me`) model the node's local loopback, not a
+//! network link, and are never faulted.
+//!
+//! A [`FaultHandle`] offers the same sever/restore/kill controls
+//! imperatively, for tests that want to script faults around their own
+//! workload phases instead of send counts.
+
+use crate::{DeliverFn, Endpoint, Envelope, NetError, Transport};
+use repmem_core::NodeId;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// What a scheduled fault does when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Drop the link between the unordered pair `(a, b)`: sends in
+    /// either direction fail with [`NetError::Closed`] until restored.
+    Sever(NodeId, NodeId),
+    /// Bring the severed pair `(a, b)` back up.
+    Restore(NodeId, NodeId),
+    /// Permanently kill the endpoint: sends to and from it fail with
+    /// [`NetError::Down`] forever.
+    Kill(NodeId),
+    /// Stall each of the next `sends` send calls for `dur` on the
+    /// sender's thread before forwarding (FIFO preserved).
+    DelayBurst { dur: Duration, sends: u64 },
+}
+
+/// One scheduled fault: `action` fires when the cluster-wide send
+/// counter reaches `at_send` (1-based: `at_send: 1` fires on the very
+/// first send).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Send-attempt count that triggers the action.
+    pub at_send: u64,
+    /// The fault to inject.
+    pub action: FaultAction,
+}
+
+/// A deterministic fault script, built fluently and consumed by
+/// [`FaultTransport::new`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no scripted faults; the [`FaultHandle`] can
+    /// still inject them manually).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Sever the link pair `(a, b)` at send count `at`.
+    pub fn sever_at(mut self, at: u64, a: NodeId, b: NodeId) -> Self {
+        self.events.push(FaultEvent {
+            at_send: at,
+            action: FaultAction::Sever(a, b),
+        });
+        self
+    }
+
+    /// Restore the link pair `(a, b)` at send count `at`.
+    pub fn restore_at(mut self, at: u64, a: NodeId, b: NodeId) -> Self {
+        self.events.push(FaultEvent {
+            at_send: at,
+            action: FaultAction::Restore(a, b),
+        });
+        self
+    }
+
+    /// Permanently kill `node` at send count `at`.
+    pub fn kill_at(mut self, at: u64, node: NodeId) -> Self {
+        self.events.push(FaultEvent {
+            at_send: at,
+            action: FaultAction::Kill(node),
+        });
+        self
+    }
+
+    /// Starting at send count `at`, stall each of the next `sends` send
+    /// calls for `dur`.
+    pub fn delay_burst_at(mut self, at: u64, dur: Duration, sends: u64) -> Self {
+        self.events.push(FaultEvent {
+            at_send: at,
+            action: FaultAction::DelayBurst { dur, sends },
+        });
+        self
+    }
+}
+
+/// Normalized unordered pair key for the severed-link set.
+fn pair(a: NodeId, b: NodeId) -> (u16, u16) {
+    (a.0.min(b.0), a.0.max(b.0))
+}
+
+struct FaultMap {
+    /// Events not yet fired, sorted by trigger count.
+    pending: VecDeque<FaultEvent>,
+    /// Currently severed unordered pairs.
+    severed: HashSet<(u16, u16)>,
+    /// Permanently killed endpoints.
+    killed: HashSet<u16>,
+    /// Active delay burst: `(stall, sends left)`.
+    burst: Option<(Duration, u64)>,
+}
+
+struct FaultState {
+    sends: AtomicU64,
+    map: Mutex<FaultMap>,
+}
+
+fn lock(m: &Mutex<FaultMap>) -> MutexGuard<'_, FaultMap> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FaultState {
+    fn apply(map: &mut FaultMap, action: FaultAction) {
+        match action {
+            FaultAction::Sever(a, b) => {
+                map.severed.insert(pair(a, b));
+            }
+            FaultAction::Restore(a, b) => {
+                map.severed.remove(&pair(a, b));
+            }
+            FaultAction::Kill(n) => {
+                map.killed.insert(n.0);
+            }
+            FaultAction::DelayBurst { dur, sends } => {
+                map.burst = Some((dur, sends));
+            }
+        }
+    }
+
+    /// Advance the send counter, fire due events, and return this send's
+    /// verdict: an error, a stall to serve before forwarding, or clear.
+    fn gate(&self, me: NodeId, to: NodeId) -> Result<Option<Duration>, NetError> {
+        let seq = self.sends.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut map = lock(&self.map);
+        while map.pending.front().is_some_and(|e| e.at_send <= seq) {
+            if let Some(ev) = map.pending.pop_front() {
+                Self::apply(&mut map, ev.action);
+            }
+        }
+        if to == me {
+            // Local loopback is not a network link; never faulted.
+            return Ok(None);
+        }
+        if map.killed.contains(&to.0) {
+            return Err(NetError::Down(to));
+        }
+        if map.killed.contains(&me.0) {
+            return Err(NetError::Down(me));
+        }
+        if map.severed.contains(&pair(me, to)) {
+            return Err(NetError::Closed(to));
+        }
+        let stall = match &mut map.burst {
+            Some((dur, left)) => {
+                let dur = *dur;
+                *left -= 1;
+                if *left == 0 {
+                    map.burst = None;
+                }
+                Some(dur)
+            }
+            None => None,
+        };
+        Ok(stall)
+    }
+}
+
+/// Imperative fault controls over a [`FaultTransport`]'s shared state,
+/// cloneable and usable from any thread (typically the test driver).
+#[derive(Clone)]
+pub struct FaultHandle {
+    state: Arc<FaultState>,
+}
+
+impl FaultHandle {
+    /// Sever the link pair `(a, b)` now.
+    pub fn sever(&self, a: NodeId, b: NodeId) {
+        FaultState::apply(&mut lock(&self.state.map), FaultAction::Sever(a, b));
+    }
+
+    /// Restore the link pair `(a, b)` now.
+    pub fn restore(&self, a: NodeId, b: NodeId) {
+        FaultState::apply(&mut lock(&self.state.map), FaultAction::Restore(a, b));
+    }
+
+    /// Permanently kill `node` now.
+    pub fn kill(&self, node: NodeId) {
+        FaultState::apply(&mut lock(&self.state.map), FaultAction::Kill(node));
+    }
+
+    /// Send attempts observed so far across the whole cluster.
+    pub fn sends(&self) -> u64 {
+        self.state.sends.load(Ordering::SeqCst)
+    }
+}
+
+/// A [`Transport`] wrapper injecting scripted faults (see module docs).
+pub struct FaultTransport<T> {
+    inner: T,
+    state: Arc<FaultState>,
+}
+
+impl<T: Transport> FaultTransport<T> {
+    /// Wrap `inner` with a fault schedule. Events fire in trigger order
+    /// regardless of the order they were added to the schedule.
+    pub fn new(inner: T, schedule: FaultSchedule) -> Self {
+        let mut events = schedule.events;
+        events.sort_by_key(|e| e.at_send);
+        FaultTransport {
+            inner,
+            state: Arc::new(FaultState {
+                sends: AtomicU64::new(0),
+                map: Mutex::new(FaultMap {
+                    pending: events.into(),
+                    severed: HashSet::new(),
+                    killed: HashSet::new(),
+                    burst: None,
+                }),
+            }),
+        }
+    }
+
+    /// Imperative controls over this transport's fault state.
+    pub fn handle(&self) -> FaultHandle {
+        FaultHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn n_nodes(&self) -> usize {
+        self.inner.n_nodes()
+    }
+
+    fn bind(&mut self, node: NodeId, deliver: DeliverFn) -> Result<Box<dyn Endpoint>, NetError> {
+        Ok(Box::new(FaultEndpoint {
+            me: node,
+            inner: self.inner.bind(node, deliver)?,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn meter(&self) -> Option<crate::MeterHandle> {
+        self.inner.meter()
+    }
+}
+
+struct FaultEndpoint {
+    me: NodeId,
+    inner: Box<dyn Endpoint>,
+    state: Arc<FaultState>,
+}
+
+impl Endpoint for FaultEndpoint {
+    fn send(&self, to: NodeId, env: &Envelope) -> Result<(), NetError> {
+        // The stall is served after the state lock is released, so a
+        // burst slows the faulted sender without serializing the rest of
+        // the cluster behind it.
+        if let Some(stall) = self.state.gate(self.me, to)? {
+            std::thread::sleep(stall);
+        }
+        self.inner.send(to, env)
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
+        self.inner.flush()
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_fires_in_trigger_order_regardless_of_insertion() {
+        let s = FaultSchedule::new()
+            .restore_at(5, NodeId(0), NodeId(1))
+            .sever_at(2, NodeId(0), NodeId(1));
+        let mut events = s.events.clone();
+        events.sort_by_key(|e| e.at_send);
+        assert_eq!(events[0].action, FaultAction::Sever(NodeId(0), NodeId(1)));
+        assert_eq!(events[1].action, FaultAction::Restore(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn pair_key_is_unordered() {
+        assert_eq!(pair(NodeId(3), NodeId(1)), pair(NodeId(1), NodeId(3)));
+    }
+}

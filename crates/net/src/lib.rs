@@ -26,21 +26,29 @@
 //! * [`DelayTransport`] — seeded, deterministic per-link latency
 //!   injection that preserves FIFO order, for exercising timeout and
 //!   backlog behaviour.
+//! * [`FaultTransport`] — scripted fault injection: sever/restore links,
+//!   kill endpoints and stretch delivery at exact send counts, with FIFO
+//!   order preserved on every surviving segment — the harness behind the
+//!   runtime's recovery guarantees.
 //!
 //! Wrappers compose: `MeteredTransport::new(DelayTransport::new(...))`
 //! meters the delayed link.
 
 pub mod codec;
 pub mod delay;
+pub mod fault;
 pub mod inproc;
 pub mod metered;
 pub mod tcp;
 
 pub use codec::{CodecError, Frame, MAX_FRAME_LEN, WIRE_VERSION};
 pub use delay::{DelayConfig, DelayTransport};
+pub use fault::{FaultAction, FaultEvent, FaultHandle, FaultSchedule, FaultTransport};
 pub use inproc::InProcTransport;
 pub use metered::{ClassCounters, LinkSnapshot, MeterHandle, MeterStats, MeteredTransport};
-pub use tcp::{CtrlConn, CtrlHandler, TcpEndpoint, TcpMeshConfig, TcpTransport, CTRL_NODE};
+pub use tcp::{
+    CtrlConn, CtrlHandler, ReconnectPolicy, TcpEndpoint, TcpMeshConfig, TcpTransport, CTRL_NODE,
+};
 
 use bytes::Bytes;
 use repmem_core::{Msg, NodeId};
@@ -98,10 +106,19 @@ pub struct Envelope {
 }
 
 /// Transport-layer failures.
+///
+/// `Closed` is *transient*: the link is down right now but may come back
+/// (a reconnecting TCP mesh, a severed-then-restored fault schedule), so
+/// callers with a recovery budget should retry. `Down` is *permanent*:
+/// the endpoint behind the link is gone for good (reconnect budget
+/// exhausted, or a scripted kill) and retrying is pointless.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
     /// The link to `NodeId` (or the whole endpoint) has been closed.
+    /// Transient: recovery may restore it.
     Closed(NodeId),
+    /// The node behind the link is permanently unreachable.
+    Down(NodeId),
     /// Socket-level failure.
     Io(String),
     /// Malformed frame on the wire.
@@ -112,6 +129,7 @@ impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetError::Closed(n) => write!(f, "link to {n} is closed"),
+            NetError::Down(n) => write!(f, "{n} is permanently unreachable"),
             NetError::Io(e) => write!(f, "transport i/o error: {e}"),
             NetError::Codec(e) => write!(f, "wire codec error: {e}"),
         }

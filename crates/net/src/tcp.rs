@@ -18,6 +18,19 @@
 //!   the `repmem-node` binary: dials retry until the peer processes come
 //!   up, and an optional control handler serves driver connections.
 //!
+//! ## Link failure and recovery
+//!
+//! When a peer stream dies (reader error or failed write) the slot is
+//! marked dead and sends fail fast with the *transient*
+//! [`NetError::Closed`]. With a [`ReconnectPolicy`] configured, the
+//! dialing side of the pair then redials with exponential backoff and
+//! jitter; a re-established stream is a fresh FIFO link (nothing sent
+//! into the dead link is replayed — retransmission is the runtime's
+//! job). Once the attempt budget is exhausted the slot turns *fatal* and
+//! sends fail with the permanent [`NetError::Down`]. Without a policy a
+//! dead link stays dead and keeps failing with `Closed`, which the
+//! runtime treats as a routine shutdown-time condition.
+//!
 //! [`codec`]: crate::codec
 
 use crate::codec::{encode_envelope_frame_into, read_frame, write_frame, Frame, WIRE_VERSION};
@@ -25,7 +38,7 @@ use crate::{DeliverFn, Endpoint, Envelope, NetError, Transport};
 use repmem_core::NodeId;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -47,6 +60,34 @@ pub struct CtrlConn {
 /// block endpoint close) for each accepted control connection.
 pub type CtrlHandler = Box<dyn Fn(CtrlConn) + Send + Sync>;
 
+/// Bounded link-recovery policy: how the dialing side of a dead pair
+/// tries to bring the stream back.
+///
+/// Attempt `k` sleeps `min(base * 2^k, cap)` plus a deterministic jitter
+/// of up to half that (seeded from the node pair, so two nodes redialing
+/// the same peer don't thunder in lockstep), then dials with a connect
+/// timeout of `cap` so one stalled SYN cannot eat the whole budget.
+/// After `max_attempts` failures the link is declared permanently down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Redial attempts before the link turns fatal ([`NetError::Down`]).
+    pub max_attempts: u32,
+    /// First backoff step (doubles each attempt).
+    pub base: Duration,
+    /// Backoff ceiling, and the per-attempt connect timeout.
+    pub cap: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(250),
+        }
+    }
+}
+
 /// Everything one node needs to join a TCP mesh.
 pub struct TcpMeshConfig {
     /// This node's id.
@@ -64,10 +105,35 @@ pub struct TcpMeshConfig {
     /// of one frame + syscall per send. Callers **must** then flush
     /// before blocking on their inbox (the cluster node loop does).
     pub batch: bool,
+    /// Redial dead links with this policy; `None` keeps the historical
+    /// dead-forever behaviour (sends fail fast with `Closed`).
+    pub reconnect: Option<ReconnectPolicy>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// SplitMix64 step: the deterministic jitter source (no RNG state to
+/// carry, no extra dependency).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Backoff for attempt `k`: `min(base * 2^k, cap)` plus jitter in
+/// `[0, step/2]` drawn deterministically from `seed ^ k`.
+fn backoff_delay(base: Duration, cap: Duration, attempt: u32, seed: u64) -> Duration {
+    let step = base.saturating_mul(1u32 << attempt.min(16)).min(cap);
+    let half = (step.as_nanos() as u64) / 2;
+    let jitter = if half == 0 {
+        0
+    } else {
+        splitmix64(seed ^ u64::from(attempt)) % (half + 1)
+    };
+    step + Duration::from_nanos(jitter)
 }
 
 /// Reusable per-link outbound buffer: the encode scratch for immediate
@@ -89,11 +155,19 @@ struct Slot {
     stream: Mutex<Option<TcpStream>>,
     ready: Condvar,
     out: Mutex<OutBuf>,
-    /// The peer disconnected (reader died or a write failed). There is
-    /// no reconnect in this mesh, so a dead link stays dead: sends fail
-    /// fast with [`NetError::Closed`] instead of waiting `link_timeout`
-    /// for a stream that can never come back.
+    /// The link's stream is down (reader died or a write failed). With a
+    /// reconnect policy this is transient — sends fail fast with
+    /// [`NetError::Closed`] while recovery redials; without one the link
+    /// stays dead forever.
     dead: AtomicBool,
+    /// Recovery gave up (attempt budget exhausted): the peer is treated
+    /// as permanently gone and sends fail with [`NetError::Down`].
+    fatal: AtomicBool,
+    /// Install generation, bumped under the `stream` lock whenever a new
+    /// stream is installed. A reader or writer that saw generation `g`
+    /// fail may only tear the slot down while the generation is still
+    /// `g` — a stale failure must not clobber a freshly recovered link.
+    gen: AtomicU64,
 }
 
 struct Shared {
@@ -101,6 +175,8 @@ struct Shared {
     deliver: DeliverFn,
     ctrl: Option<CtrlHandler>,
     slots: Vec<Slot>,
+    peers: Vec<SocketAddr>,
+    reconnect: Option<ReconnectPolicy>,
     closed: AtomicBool,
     threads: Mutex<Vec<JoinHandle<()>>>,
     listen_addr: SocketAddr,
@@ -109,50 +185,26 @@ struct Shared {
 }
 
 impl Shared {
-    fn install_link(&self, peer: NodeId, stream: &TcpStream) -> std::io::Result<()> {
+    /// Install `stream` as the live link to `peer`, returning the new
+    /// install generation. Refuses once the endpoint is closed (so a
+    /// racing reconnect cannot resurrect a link behind `close`).
+    fn install_link(&self, peer: NodeId, stream: &TcpStream) -> std::io::Result<u64> {
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
-        let slot = &self.slots[peer.idx()];
-        *lock(&slot.stream) = Some(writer);
-        slot.ready.notify_all();
-        Ok(())
-    }
-
-    /// Pump envelopes off one peer stream into the deliver sink until
-    /// the stream dies or the endpoint closes.
-    fn run_reader(&self, mut r: BufReader<TcpStream>, peer: NodeId) {
-        // Anything other than an envelope (single or batched) on a peer
-        // link is a protocol violation; Eof / Io covers orderly and
-        // disorderly disconnects. Batch members are delivered in frame
-        // order, so link FIFO semantics are identical either way.
-        loop {
-            match read_frame(&mut r) {
-                Ok(Frame::Envelope(env)) => (self.deliver)(env),
-                Ok(Frame::Batch(envs)) => {
-                    for env in envs {
-                        (self.deliver)(env);
-                    }
-                }
-                _ => break,
-            }
+        let slot = self
+            .slots
+            .get(peer.idx())
+            .ok_or_else(|| std::io::Error::other(format!("no slot for {peer}")))?;
+        let mut guard = lock(&slot.stream);
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(std::io::Error::other("endpoint closed"));
         }
-        if !self.closed.load(Ordering::Relaxed) {
-            // The peer is gone: drop the writer and mark the link dead
-            // so sends fail fast instead of buffering into a dead
-            // socket or waiting for a reconnect that cannot happen.
-            let slot = &self.slots[peer.idx()];
-            slot.dead.store(true, Ordering::SeqCst);
-            lock(&slot.stream).take();
-            slot.ready.notify_all();
-        }
-    }
-
-    /// Record that the link to `peer` died mid-write.
-    fn kill_link(&self, peer: NodeId) {
-        let slot = &self.slots[peer.idx()];
-        slot.dead.store(true, Ordering::SeqCst);
-        lock(&slot.stream).take();
+        let gen = slot.gen.fetch_add(1, Ordering::SeqCst) + 1;
+        *guard = Some(writer);
+        slot.dead.store(false, Ordering::SeqCst);
+        drop(guard);
         slot.ready.notify_all();
+        Ok(gen)
     }
 
     /// Wait (bounded by `link_timeout`) for the link to `to` to come up
@@ -162,6 +214,9 @@ impl Shared {
         let mut guard = lock(&slot.stream);
         let deadline = Instant::now() + self.link_timeout;
         while guard.is_none() {
+            if slot.fatal.load(Ordering::SeqCst) {
+                return Err(NetError::Down(to));
+            }
             if slot.dead.load(Ordering::SeqCst) {
                 return Err(NetError::Closed(to));
             }
@@ -180,6 +235,125 @@ impl Shared {
         }
         Ok(guard)
     }
+}
+
+/// Pump envelopes off one peer stream into the deliver sink until the
+/// stream dies or the endpoint closes.
+fn run_reader(shared: &Arc<Shared>, mut r: BufReader<TcpStream>, peer: NodeId, gen: u64) {
+    // Anything other than an envelope (single or batched) on a peer
+    // link is a protocol violation; Eof / Io covers orderly and
+    // disorderly disconnects. Batch members are delivered in frame
+    // order, so link FIFO semantics are identical either way.
+    loop {
+        match read_frame(&mut r) {
+            Ok(Frame::Envelope(env)) => (shared.deliver)(env),
+            Ok(Frame::Batch(envs)) => {
+                for env in envs {
+                    (shared.deliver)(env);
+                }
+            }
+            _ => break,
+        }
+    }
+    link_down(shared, peer, gen);
+}
+
+/// Record that install-generation `gen` of the link to `peer` died, and
+/// kick off recovery when this side is the pair's dialer. A stale `gen`
+/// (the link was already re-established) is ignored.
+fn link_down(shared: &Arc<Shared>, peer: NodeId, gen: u64) {
+    let Some(slot) = shared.slots.get(peer.idx()) else {
+        return;
+    };
+    {
+        let mut guard = lock(&slot.stream);
+        if slot.gen.load(Ordering::SeqCst) != gen {
+            return;
+        }
+        if slot.dead.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        guard.take();
+    }
+    slot.ready.notify_all();
+    if shared.closed.load(Ordering::Relaxed) {
+        return;
+    }
+    // Lower id dials: we redial peers above us; a lower-numbered peer
+    // redials us (its reconnect loop lands back in `handle_incoming`).
+    if peer > shared.me {
+        spawn_reconnect(shared, peer);
+    }
+}
+
+fn spawn_reconnect(shared: &Arc<Shared>, peer: NodeId) {
+    let Some(policy) = shared.reconnect else {
+        return;
+    };
+    let sh = Arc::clone(shared);
+    let h = std::thread::spawn(move || reconnect_loop(&sh, peer, policy));
+    lock(&shared.threads).push(h);
+}
+
+/// Sleep `total` in small slices, bailing out early if the endpoint
+/// closes so shutdown never waits out a whole backoff step.
+fn sleep_unless_closed(shared: &Shared, total: Duration) -> bool {
+    let deadline = Instant::now() + total;
+    loop {
+        if shared.closed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return true;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(20)));
+    }
+}
+
+fn reconnect_loop(shared: &Arc<Shared>, peer: NodeId, policy: ReconnectPolicy) {
+    let Some(&addr) = shared.peers.get(peer.idx()) else {
+        return;
+    };
+    let seed = (u64::from(shared.me.0) << 16) | u64::from(peer.0);
+    let connect_timeout = policy.cap.max(policy.base).max(Duration::from_millis(1));
+    for attempt in 0..policy.max_attempts {
+        let wait = backoff_delay(policy.base, policy.cap, attempt, seed);
+        if !sleep_unless_closed(shared, wait) {
+            return;
+        }
+        let Ok(stream) = TcpStream::connect_timeout(&addr, connect_timeout) else {
+            continue;
+        };
+        let mut w = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        if write_frame(
+            &mut w,
+            &Frame::Hello {
+                version: WIRE_VERSION,
+                node: shared.me.0,
+            },
+        )
+        .is_err()
+        {
+            continue;
+        }
+        let Ok(gen) = shared.install_link(peer, &stream) else {
+            return; // closed underneath us
+        };
+        let rd = Arc::clone(shared);
+        let h = std::thread::spawn(move || run_reader(&rd, BufReader::new(stream), peer, gen));
+        lock(&shared.threads).push(h);
+        return;
+    }
+    // Budget exhausted: the peer is permanently unreachable.
+    let Some(slot) = shared.slots.get(peer.idx()) else {
+        return;
+    };
+    slot.fatal.store(true, Ordering::SeqCst);
+    slot.ready.notify_all();
 }
 
 /// A node's endpoint on a TCP mesh (see module docs).
@@ -215,8 +389,12 @@ impl TcpEndpoint {
                         queued: 0,
                     }),
                     dead: AtomicBool::new(false),
+                    fatal: AtomicBool::new(false),
+                    gen: AtomicU64::new(0),
                 })
                 .collect(),
+            peers: cfg.peers.clone(),
+            reconnect: cfg.reconnect,
             closed: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
             listen_addr: cfg.listener.local_addr()?,
@@ -260,25 +438,56 @@ impl TcpEndpoint {
                 },
             )
             .map_err(NetError::from)?;
-            shared.install_link(peer, &stream)?;
+            let gen = shared.install_link(peer, &stream)?;
             let rd_shared = Arc::clone(&shared);
-            let h = std::thread::spawn(move || rd_shared.run_reader(BufReader::new(stream), peer));
+            let h = std::thread::spawn(move || {
+                run_reader(&rd_shared, BufReader::new(stream), peer, gen)
+            });
             lock(&shared.threads).push(h);
         }
         Ok(TcpEndpoint { shared })
     }
+
+    /// Fault hook: forcibly shut down the live stream to `peer` (both
+    /// directions), as if the network dropped the link. The reader
+    /// notices, the slot goes dead, and — when a [`ReconnectPolicy`] is
+    /// configured — recovery redials. No-op if the link is already down.
+    pub fn drop_link(&self, peer: NodeId) {
+        if let Some(slot) = self.shared.slots.get(peer.idx()) {
+            if let Some(s) = lock(&slot.stream).as_ref() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
 }
+
+/// Per-attempt connect ceiling inside [`dial_with_retry`]: one stalled
+/// SYN costs at most this much of the budget before the next attempt.
+const DIAL_ATTEMPT_CAP: Duration = Duration::from_secs(1);
+const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(5);
+const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(200);
 
 fn dial_with_retry(addr: SocketAddr, budget: Duration) -> Result<TcpStream, NetError> {
     let deadline = Instant::now() + budget;
+    let seed = splitmix64(u64::from(addr.port()));
+    let mut attempt = 0u32;
     loop {
-        match TcpStream::connect(addr) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(NetError::Io(format!(
+                "dialing {addr}: budget {budget:?} exhausted"
+            )));
+        }
+        match TcpStream::connect_timeout(&addr, left.min(DIAL_ATTEMPT_CAP)) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                if Instant::now() >= deadline {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
                     return Err(NetError::Io(format!("dialing {addr}: {e}")));
                 }
-                std::thread::sleep(Duration::from_millis(25));
+                let wait = backoff_delay(DIAL_BACKOFF_BASE, DIAL_BACKOFF_CAP, attempt, seed);
+                std::thread::sleep(wait.min(left));
+                attempt += 1;
             }
         }
     }
@@ -310,14 +519,18 @@ fn handle_incoming(shared: &Arc<Shared>, stream: TcpStream) {
         return;
     }
     let peer = NodeId(node);
-    // Only lower-numbered peers dial us, and only once per pair.
+    // Only lower-numbered peers dial us. A repeat hello from the same
+    // peer is its reconnect: install_link swaps in the fresh stream.
     if peer.idx() >= shared.slots.len() || peer >= shared.me {
         return;
     }
-    if shared.install_link(peer, &stream).is_err() {
-        return;
+    if shared.slots[peer.idx()].fatal.load(Ordering::SeqCst) {
+        return; // declared permanently down; refuse resurrection
     }
-    shared.run_reader(reader, peer);
+    let Ok(gen) = shared.install_link(peer, &stream) else {
+        return;
+    };
+    run_reader(shared, reader, peer, gen);
 }
 
 impl Endpoint for TcpEndpoint {
@@ -332,6 +545,9 @@ impl Endpoint for TcpEndpoint {
             return Ok(());
         }
         let slot = shared.slots.get(to.idx()).ok_or(NetError::Closed(to))?;
+        if slot.fatal.load(Ordering::SeqCst) {
+            return Err(NetError::Down(to));
+        }
         if slot.dead.load(Ordering::SeqCst) {
             return Err(NetError::Closed(to));
         }
@@ -353,14 +569,17 @@ impl Endpoint for TcpEndpoint {
         out.buf.clear();
         encode_envelope_frame_into(env, &mut out.buf);
         let mut guard = shared.wait_stream(to)?;
-        let stream = guard.as_mut().expect("wait_stream checked");
+        let gen = slot.gen.load(Ordering::SeqCst);
+        let Some(stream) = guard.as_mut() else {
+            return Err(NetError::Closed(to));
+        };
         if stream.write_all(&out.buf).is_err() {
-            // A failed write means the peer hung up: the link is dead
-            // for good (no reconnect in this mesh), which callers treat
-            // as a routine shutdown-time condition.
+            // A failed write means this stream is gone. Tear it down
+            // (generation-guarded) and report the transient error; with
+            // a reconnect policy a fresh stream may come back.
             drop(guard);
             drop(out);
-            shared.kill_link(to);
+            link_down(shared, to, gen);
             return Err(NetError::Closed(to));
         }
         Ok(())
@@ -381,7 +600,7 @@ impl Endpoint for TcpEndpoint {
             if shared.closed.load(Ordering::Relaxed) {
                 return Err(NetError::Closed(to));
             }
-            if slot.dead.load(Ordering::SeqCst) {
+            if slot.dead.load(Ordering::SeqCst) || slot.fatal.load(Ordering::SeqCst) {
                 // The peer hung up with envelopes still queued: they are
                 // "on the wire when the link died". Drop them and keep
                 // flushing the remaining live links.
@@ -397,14 +616,19 @@ impl Endpoint for TcpEndpoint {
             out.buf[4] = crate::codec::TAG_BATCH;
             out.buf[5..9].copy_from_slice(&queued.to_le_bytes());
             let mut guard = shared.wait_stream(to)?;
-            let stream = guard.as_mut().expect("wait_stream checked");
+            let gen = slot.gen.load(Ordering::SeqCst);
+            let Some(stream) = guard.as_mut() else {
+                out.buf.clear();
+                out.queued = 0;
+                continue;
+            };
             let write = stream.write_all(&out.buf);
             out.buf.clear();
             out.queued = 0;
             if write.is_err() {
                 drop(guard);
                 drop(out);
-                shared.kill_link(to);
+                link_down(shared, to, gen);
             }
         }
         Ok(())
@@ -420,6 +644,7 @@ impl Endpoint for TcpEndpoint {
             if let Some(s) = lock(&slot.stream).take() {
                 let _ = s.shutdown(Shutdown::Both);
             }
+            slot.ready.notify_all();
         }
         // Wake the acceptor out of `accept()`.
         let _ = TcpStream::connect(shared.listen_addr);
@@ -443,6 +668,7 @@ pub struct TcpTransport {
     listeners: Vec<Option<TcpListener>>,
     link_timeout: Duration,
     batch: bool,
+    reconnect: Option<ReconnectPolicy>,
 }
 
 impl TcpTransport {
@@ -460,6 +686,7 @@ impl TcpTransport {
             listeners,
             link_timeout: Duration::from_secs(10),
             batch: false,
+            reconnect: None,
         })
     }
 
@@ -468,6 +695,12 @@ impl TcpTransport {
     /// rely on the node loop's [`Endpoint::flush`] discipline.
     pub fn batched(mut self) -> Self {
         self.batch = true;
+        self
+    }
+
+    /// Recover dead links with `policy` (see [`ReconnectPolicy`]).
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
         self
     }
 
@@ -495,6 +728,7 @@ impl Transport for TcpTransport {
                 peers: self.addrs.clone(),
                 link_timeout: self.link_timeout,
                 batch: self.batch,
+                reconnect: self.reconnect,
             },
             deliver,
             None,

@@ -323,6 +323,77 @@ fn oversized_length_prefix_is_rejected_before_allocating() {
 }
 
 #[test]
+fn every_frame_variant_rejects_every_truncated_prefix() {
+    // One representative of every Frame variant (every wire tag),
+    // payload-bearing where the variant allows it. Any strict prefix of
+    // any encoding must come back as a CodecError — a clean Eof only
+    // for the empty stream, Malformed everywhere else, a panic never.
+    let mut rng = StdRng::seed_from_u64(0x7A61C);
+    let env = random_envelope(&mut rng, MsgKind::WGnt, PayloadKind::Copy, 32);
+    let frames: Vec<Frame> = vec![
+        Frame::Hello {
+            version: WIRE_VERSION,
+            node: 3,
+        },
+        Frame::Envelope(env.clone()),
+        Frame::Op {
+            op: OpKind::Read,
+            object: ObjectId(1),
+            data: None,
+        },
+        Frame::Op {
+            op: OpKind::Write,
+            object: ObjectId(9),
+            data: Some(Bytes::from_static(b"abcdef")),
+        },
+        Frame::OpDone {
+            result: Ok(Bytes::from_static(b"value")),
+        },
+        Frame::OpDone {
+            result: Err("node 1 is permanently unreachable".into()),
+        },
+        Frame::CostQuery,
+        Frame::CostReport {
+            cost: 17,
+            messages: 4,
+        },
+        Frame::Shutdown,
+        Frame::Dump {
+            objects: vec![
+                (CopyState::Dirty, 5, 2, Bytes::from_static(b"zz")),
+                (CopyState::Valid, 6, 3, Bytes::new()),
+            ],
+        },
+        Frame::Batch(vec![
+            env,
+            random_envelope(&mut rng, MsgKind::Ack, PayloadKind::Token, 0),
+        ]),
+    ];
+    for frame in &frames {
+        let full = encode_frame(frame);
+        // The streaming reader, over every strict prefix of the wire
+        // bytes (length prefix included).
+        for cut in 0..full.len() {
+            let mut r = &full[..cut];
+            match read_frame(&mut r) {
+                Err(CodecError::Eof) if cut == 0 => {}
+                Err(CodecError::Malformed(_)) if cut > 0 => {}
+                other => panic!("{frame:?} cut at {cut}/{} gave {other:?}", full.len()),
+            }
+        }
+        // The buffer decoder, over every strict prefix of the body.
+        let body = &full[4..];
+        for cut in 0..body.len() {
+            assert!(
+                matches!(decode_frame(&body[..cut]), Err(CodecError::Malformed(_))),
+                "{frame:?} body cut at {cut}/{}",
+                body.len()
+            );
+        }
+    }
+}
+
+#[test]
 fn garbage_never_panics() {
     let mut rng = StdRng::seed_from_u64(0xFACADE);
     for _ in 0..2000 {

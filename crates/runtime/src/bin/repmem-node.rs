@@ -14,7 +14,9 @@
 //! The process serves until a control connection sends `Shutdown`.
 
 use repmem_core::{NodeId, ProtocolKind, SystemParams};
+use repmem_net::ReconnectPolicy;
 use repmem_runtime::remote::{serve, ServeConfig};
+use repmem_runtime::RecoveryPolicy;
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::time::Duration;
@@ -33,6 +35,8 @@ struct Args {
     listen: String,
     peers: Option<String>,
     link_timeout: Duration,
+    reconnect_attempts: u32,
+    retry_deadline: Duration,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
     let mut listen = String::from("127.0.0.1:0");
     let mut peers: Option<String> = None;
     let mut link_timeout = Duration::from_secs(10);
+    let mut reconnect_attempts = 0u32;
+    let mut retry_deadline = Duration::ZERO;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -62,6 +68,15 @@ fn parse_args() -> Result<Args, String> {
                 link_timeout = Duration::from_secs(parse(
                     &value("--link-timeout-secs")?,
                     "--link-timeout-secs",
+                )?)
+            }
+            "--reconnect-attempts" => {
+                reconnect_attempts = parse(&value("--reconnect-attempts")?, "--reconnect-attempts")?
+            }
+            "--retry-deadline-ms" => {
+                retry_deadline = Duration::from_millis(parse(
+                    &value("--retry-deadline-ms")?,
+                    "--retry-deadline-ms",
                 )?)
             }
             "--help" | "-h" => {
@@ -84,6 +99,8 @@ fn parse_args() -> Result<Args, String> {
         listen,
         peers,
         link_timeout,
+        reconnect_attempts,
+        retry_deadline,
     })
 }
 
@@ -93,10 +110,17 @@ repmem-node: one DSM node as an OS process
 USAGE:
     repmem-node --node I --n-clients N --s S --p P --m M --protocol NAME
                 [--listen ADDR] [--peers A0,A1,...] [--link-timeout-secs T]
+                [--reconnect-attempts K] [--retry-deadline-ms D]
 
 With no --peers, prints `LISTEN <addr>` and reads `PEERS <a0> <a1> ...`
 from stdin. Protocol names are the paper's (case-insensitive), e.g.
 Write-Through, Write-Once, Synapse, Illinois, Berkeley, Dragon, Firefly.
+
+--reconnect-attempts K > 0 redials dead mesh links (exponential backoff
+with jitter, K attempts) before declaring the peer permanently down;
+--retry-deadline-ms D > 0 retries sends that hit transient link errors
+for up to D ms before degrading that one operation. Both default to 0:
+the paper's fault-free channel assumption.
 ";
 
 fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String>
@@ -174,6 +198,15 @@ fn run() -> Result<(), String> {
         listener,
         peers,
         link_timeout: args.link_timeout,
+        reconnect: (args.reconnect_attempts > 0).then(|| ReconnectPolicy {
+            max_attempts: args.reconnect_attempts,
+            ..ReconnectPolicy::default()
+        }),
+        recovery: if args.retry_deadline.is_zero() {
+            RecoveryPolicy::default()
+        } else {
+            RecoveryPolicy::with_deadline(args.retry_deadline)
+        },
     })
     .map_err(|e| e.to_string())
 }

@@ -2,8 +2,8 @@
 //! (blocking and pipelined).
 
 use crate::node::{
-    node_loop, poison_get, poison_set, AppReq, ClusterError, NodeCtx, ReplicaSnap, VersionClock,
-    Wire,
+    node_loop, poison_get, poison_set, AppReq, ClusterError, NodeCtx, RecoveryPolicy, ReplicaSnap,
+    VersionClock, Wire,
 };
 use crate::shard::ShardConfig;
 use bytes::Bytes;
@@ -194,7 +194,23 @@ impl Cluster {
         sys: SystemParams,
         kind: ProtocolKind,
         cfg: ShardConfig,
+        transport: impl Transport,
+    ) -> Result<Cluster, ClusterError> {
+        Cluster::with_recovery(sys, kind, cfg, transport, RecoveryPolicy::default())
+    }
+
+    /// [`Cluster::with_transport`] plus a [`RecoveryPolicy`]: how node
+    /// loops react when a send fails — retry transient errors up to the
+    /// policy's deadline, then degrade (fail the one affected operation
+    /// with [`ClusterError::NodeDown`]) instead of poisoning. The
+    /// default policy never retries, restoring the paper's fault-free
+    /// channel assumption exactly.
+    pub fn with_recovery(
+        sys: SystemParams,
+        kind: ProtocolKind,
+        cfg: ShardConfig,
         mut transport: impl Transport,
+        recovery: RecoveryPolicy,
     ) -> Result<Cluster, ClusterError> {
         if cfg.shards == 0 || cfg.window == 0 {
             return Err(ClusterError::Transport(format!(
@@ -244,6 +260,7 @@ impl Cluster {
                 Arc::clone(&messages),
                 VersionClock::Shared(Arc::clone(&versions)),
                 Arc::clone(&poison),
+                recovery,
             );
             let done_tx = done_tx.clone();
             threads.push(std::thread::spawn(move || {

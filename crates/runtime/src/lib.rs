@@ -39,5 +39,5 @@ pub mod remote;
 pub mod shard;
 
 pub use cluster::{Cluster, ClusterDump, Handle, Ticket, DEFAULT_STOP_DEADLINE};
-pub use node::{ClusterError, ReplicaSnap};
+pub use node::{ClusterError, RecoveryPolicy, ReplicaSnap};
 pub use shard::ShardConfig;

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Errors surfaced by the cluster API instead of panics or hangs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +83,49 @@ impl std::fmt::Display for ClusterError {
 }
 
 impl std::error::Error for ClusterError {}
+
+/// How a node reacts to transient transport failures on its send paths.
+///
+/// The default is the paper's fault-free assumption: no retries, a
+/// closed link is treated as a routine shutdown-time condition and the
+/// message is dropped. With a non-zero `retry_deadline` the node
+/// retries a failed send with exponential backoff (`base` doubling up
+/// to `cap`) until the deadline; a send that stays failed — or fails
+/// with the permanent [`repmem_net::NetError::Down`] — *degrades*
+/// instead of poisoning: a request whose sequencer shard is unreachable
+/// fails that one operation with [`ClusterError::NodeDown`] (protocol
+/// state rolled back), and a fire-and-forget update to a dead client is
+/// dropped. Poison stays reserved for genuine protocol-state
+/// corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Total retry budget per send; `Duration::ZERO` disables retries.
+    pub retry_deadline: Duration,
+    /// First backoff step between retries (doubles each attempt).
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            retry_deadline: Duration::ZERO,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Retry transient send failures for up to `deadline`.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        RecoveryPolicy {
+            retry_deadline: deadline,
+            ..RecoveryPolicy::default()
+        }
+    }
+}
 
 /// First-error-wins poison cell shared by every node of a cluster.
 pub(crate) type Poison = Arc<Mutex<Option<ClusterError>>>;
@@ -209,6 +253,9 @@ pub(crate) struct NodeCtx {
     pub clock: VersionClock,
     pub poison: Poison,
     shards: ShardMap,
+    /// Reaction to transient send failures (default: none, the paper's
+    /// fault-free assumption).
+    recovery: RecoveryPolicy,
     /// Max in-flight application operations (`ShardConfig::window`).
     window: usize,
     /// In-flight table, one slot per object.
@@ -229,6 +276,7 @@ impl NodeCtx {
         messages: Arc<AtomicU64>,
         clock: VersionClock,
         poison: Poison,
+        recovery: RecoveryPolicy,
     ) -> NodeCtx {
         let proto = protocol(kind);
         let shards = cfg.map(&sys);
@@ -258,6 +306,7 @@ impl NodeCtx {
             clock,
             poison,
             shards,
+            recovery,
             window: cfg.window.max(1),
             pending: (0..sys.m_objects).map(|_| None).collect(),
             in_flight: 0,
@@ -277,8 +326,13 @@ struct NodeHost<'a> {
     cost: &'a AtomicU64,
     messages: &'a AtomicU64,
     clock: &'a VersionClock,
+    recovery: RecoveryPolicy,
     /// First unrecoverable condition hit during this step, if any.
     error: Option<String>,
+    /// A peer this step could not reach even after its recovery budget:
+    /// the step must degrade (fail the pending operation, keep the
+    /// protocol state) instead of poisoning the cluster.
+    dead_dest: Option<NodeId>,
     /// Set when `ret` fires (read completion).
     returned: bool,
     /// Set when `enable_local` fires (blocked-write completion).
@@ -320,6 +374,39 @@ impl NodeHost<'_> {
         ));
         Payload::initial()
     }
+
+    /// One send with the node's recovery policy applied: retry transient
+    /// failures (`Closed`, `Io`) with exponential backoff until the
+    /// retry deadline; a permanent `Down` fails immediately. Each retry
+    /// is a genuine `Endpoint::send` attempt, so scripted fault
+    /// schedules keyed on send counts keep advancing while a severed
+    /// link waits for its restore.
+    fn send_with_recovery(&self, to: NodeId, env: &Envelope) -> Result<(), repmem_net::NetError> {
+        use repmem_net::NetError;
+        let mut last = match self.endpoint.send(to, env) {
+            Ok(()) => return Ok(()),
+            Err(e @ NetError::Down(_)) => return Err(e),
+            Err(e) => e,
+        };
+        if self.recovery.retry_deadline.is_zero() {
+            return Err(last);
+        }
+        let deadline = Instant::now() + self.recovery.retry_deadline;
+        let mut wait = self.recovery.base.max(Duration::from_micros(50));
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(last);
+            }
+            std::thread::sleep(wait.min(left));
+            match self.endpoint.send(to, env) {
+                Ok(()) => return Ok(()),
+                Err(e @ NetError::Down(_)) => return Err(e),
+                Err(e) => last = e,
+            }
+            wait = wait.saturating_mul(2).min(self.recovery.cap.max(wait));
+        }
+    }
 }
 
 impl Actions for NodeHost<'_> {
@@ -352,6 +439,7 @@ impl Actions for NodeHost<'_> {
         if self.error.is_some() {
             return;
         }
+        let single = matches!(dest, Dest::To(_));
         let receivers: Vec<NodeId> = match dest {
             Dest::To(n) => vec![n],
             Dest::AllExcept(a, b) => (0..self.shards.n_nodes() as u16)
@@ -380,10 +468,27 @@ impl Actions for NodeHost<'_> {
                 copy: copy.clone(),
                 clock: self.clock.now(),
             };
-            if let Err(e) = self.endpoint.send(r, &env) {
-                // A closed peer during shutdown is routine; anything
-                // else poisons the cluster.
-                if !matches!(e, repmem_net::NetError::Closed(_)) {
+            if let Err(e) = self.send_with_recovery(r, &env) {
+                use repmem_net::NetError;
+                let retrying = !self.recovery.retry_deadline.is_zero();
+                let degrade = matches!(e, NetError::Down(_))
+                    || (retrying && matches!(e, NetError::Closed(_) | NetError::Io(_)));
+                if degrade {
+                    // The peer is gone (or outlived the whole retry
+                    // budget). If this step is my own operation talking
+                    // to the one peer it needs, that operation must
+                    // fail; a broadcast or relayed message to a dead
+                    // peer is simply dropped (degraded service).
+                    if single
+                        && self.env.msg.initiator == self.me
+                        && self.pending.is_some()
+                        && self.dead_dest.is_none()
+                    {
+                        self.dead_dest = Some(r);
+                    }
+                } else if !matches!(e, NetError::Closed(_)) {
+                    // Fault-free default: a closed peer during shutdown
+                    // is routine; anything else poisons the cluster.
                     self.fail(format!("send {:?} to {r} failed: {e}", kind));
                 }
             }
@@ -454,14 +559,29 @@ impl NodeCtx {
             cost: &self.cost,
             messages: &self.messages,
             clock: &self.clock,
+            recovery: self.recovery,
             error: None,
+            dead_dest: None,
             returned: false,
             enabled: false,
         };
         let next = proto.step(&mut host, state, &env.msg);
-        let (returned, enabled, error) = (host.returned, host.enabled, host.error);
+        let (returned, enabled, error, dead) =
+            (host.returned, host.enabled, host.error, host.dead_dest);
         if let Some(reason) = error {
             return Err(reason);
+        }
+        if let Some(peer) = dead {
+            // Degraded completion: the one peer this step's operation
+            // needed is gone. Fail that operation with `NodeDown` and
+            // do *not* advance the machine — the request never left, so
+            // the replica stays in its pre-request state and later
+            // operations on the object start clean.
+            if let Some(p) = self.pending[idx].take() {
+                self.in_flight -= 1;
+                let _ = p.reply.send(Err(ClusterError::NodeDown(peer)));
+            }
+            return Ok((false, false));
         }
         self.procs[idx].state = next;
         Ok((returned, enabled))
@@ -493,7 +613,9 @@ impl NodeCtx {
             OpKind::Write => enabled || !p.blocked,
         };
         if done {
-            let p = self.pending[idx].take().expect("checked above");
+            let Some(p) = self.pending[idx].take() else {
+                return;
+            };
             self.in_flight -= 1;
             let value = self.procs[idx].copy.data.clone();
             let _ = p.reply.send(Ok(value));
@@ -573,7 +695,9 @@ impl NodeCtx {
         let Some(i) = pick else {
             return Ok(false);
         };
-        let (req, tag) = backlog.remove(i).expect("index in range");
+        let Some((req, tag)) = backlog.remove(i) else {
+            return Ok(false);
+        };
         self.handle_app(req, tag)?;
         Ok(true)
     }
@@ -616,17 +740,30 @@ pub(crate) fn node_loop(
     rx: Receiver<Wire>,
 ) -> (Vec<ReplicaSnap>, Box<dyn Endpoint>) {
     let mut backlog: VecDeque<(AppReq, OpTag)> = VecDeque::new();
-    if let Err(reason) = run_loop(&mut ctx, &rx, &mut backlog) {
-        let err = ClusterError::Poisoned {
-            node: ctx.me,
-            reason,
-        };
-        poison_set(&ctx.poison, err.clone());
-        ctx.fail_all(&mut backlog, &err);
-        // Fail late arrivals that were already queued behind the error.
-        while let Ok(wire) = rx.try_recv() {
-            if let Wire::Local(req, _) = wire {
-                let _ = req.reply.send(Err(err.clone()));
+    match run_loop(&mut ctx, &rx, &mut backlog) {
+        Err(reason) => {
+            let err = ClusterError::Poisoned {
+                node: ctx.me,
+                reason,
+            };
+            poison_set(&ctx.poison, err.clone());
+            ctx.fail_all(&mut backlog, &err);
+            // Fail late arrivals that were already queued behind the error.
+            while let Ok(wire) = rx.try_recv() {
+                if let Wire::Local(req, _) = wire {
+                    let _ = req.reply.send(Err(err.clone()));
+                }
+            }
+        }
+        Ok(()) => {
+            // Clean stop with operations still outstanding (a response
+            // that will never come, a backlog never started): fail the
+            // callers explicitly with the cluster's own error — never
+            // drop a reply channel and leave `Ticket::wait` to guess
+            // from a disconnect.
+            if ctx.in_flight > 0 || !backlog.is_empty() {
+                let err = poison_get(&ctx.poison).unwrap_or(ClusterError::NodeDown(ctx.me));
+                ctx.fail_all(&mut backlog, &err);
             }
         }
     }

@@ -21,12 +21,15 @@
 
 use crate::cluster::ClusterDump;
 use crate::node::{
-    node_loop, poison_get, AppReq, ClusterError, NodeCtx, Poison, ReplicaSnap, VersionClock, Wire,
+    node_loop, poison_get, AppReq, ClusterError, NodeCtx, Poison, RecoveryPolicy, ReplicaSnap,
+    VersionClock, Wire,
 };
 use bytes::Bytes;
 use repmem_core::{NodeId, ObjectId, OpKind, OpTag, ProtocolKind, SystemParams};
 use repmem_net::codec::{read_frame, write_frame, Frame};
-use repmem_net::{CtrlConn, CtrlHandler, TcpEndpoint, TcpMeshConfig, CTRL_NODE, WIRE_VERSION};
+use repmem_net::{
+    CtrlConn, CtrlHandler, ReconnectPolicy, TcpEndpoint, TcpMeshConfig, CTRL_NODE, WIRE_VERSION,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
@@ -50,6 +53,12 @@ pub struct ServeConfig {
     pub peers: Vec<SocketAddr>,
     /// Budget for dialing peers / waiting on inbound links.
     pub link_timeout: Duration,
+    /// Redial dead mesh links with this policy (`None`: a dead link
+    /// stays dead, the historical behaviour).
+    pub reconnect: Option<ReconnectPolicy>,
+    /// Node-loop reaction to transient send failures (default: none —
+    /// the paper's fault-free assumption).
+    pub recovery: RecoveryPolicy,
 }
 
 /// Run one node of a multi-process cluster until a control connection
@@ -99,6 +108,7 @@ pub fn serve(cfg: ServeConfig) -> Result<(), ClusterError> {
             peers: cfg.peers,
             link_timeout: cfg.link_timeout,
             batch: false,
+            reconnect: cfg.reconnect,
         },
         deliver,
         Some(ctrl),
@@ -117,6 +127,7 @@ pub fn serve(cfg: ServeConfig) -> Result<(), ClusterError> {
         messages,
         VersionClock::Lamport(AtomicU64::new(0)),
         Arc::clone(&poison),
+        cfg.recovery,
     );
     // Publish the snapshot before closing the endpoint: close joins the
     // control threads, and the shutdown-issuing one is waiting on it.
@@ -448,15 +459,28 @@ impl Drop for RemoteCluster {
 }
 
 fn connect_with_retry(addr: SocketAddr, budget: Duration) -> std::io::Result<TcpStream> {
+    // Same shape as the mesh's dial path: bounded per-attempt connect
+    // (a stalled SYN can't eat the budget) plus growing backoff between
+    // refused attempts.
     let deadline = Instant::now() + budget;
+    let mut wait = Duration::from_millis(5);
     loop {
-        match TcpStream::connect(addr) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("connect budget {budget:?} exhausted"),
+            ));
+        }
+        match TcpStream::connect_timeout(&addr, left.min(Duration::from_secs(1))) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                if Instant::now() >= deadline {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
                     return Err(e);
                 }
-                std::thread::sleep(Duration::from_millis(25));
+                std::thread::sleep(wait.min(left));
+                wait = (wait * 2).min(Duration::from_millis(200));
             }
         }
     }

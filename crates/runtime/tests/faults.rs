@@ -1,0 +1,263 @@
+//! Deterministic fault-schedule harness: the cluster must ride out
+//! scripted link failures without observable damage.
+//!
+//! * A sever-then-restore blackout of every client↔sequencer link,
+//!   triggered at fixed send counts, must leave a serialized workload's
+//!   per-operation costs, message totals and final replica state
+//!   **byte-identical** to the fault-free run — for all eight
+//!   protocols. Retried sends advance the same send counter that
+//!   triggers the restore, so the schedule is self-healing and needs no
+//!   wall clock.
+//! * Permanently killing one passive client degrades (its updates are
+//!   dropped) but never poisons the cluster or wedges shutdown.
+//! * Permanently killing the sequencer fails the affected operations
+//!   with [`ClusterError::NodeDown`] — per-operation degradation, not
+//!   cluster-wide poison — and shutdown still completes in time.
+
+use bytes::Bytes;
+use repmem_core::{CopyState, NodeId, ObjectId, OpKind, ProtocolKind, Scenario, SystemParams};
+use repmem_net::{FaultHandle, FaultSchedule, FaultTransport, InProcTransport};
+use repmem_runtime::{Cluster, ClusterError, RecoveryPolicy, ShardConfig, DEFAULT_STOP_DEADLINE};
+use repmem_workload::{OpEvent, ScenarioSampler};
+use std::time::Duration;
+
+fn sys() -> SystemParams {
+    SystemParams {
+        n_clients: 3,
+        s: 100,
+        p: 30,
+        m_objects: 8,
+    }
+}
+
+fn workload(sys: &SystemParams, ops: usize) -> Vec<OpEvent> {
+    let sc = Scenario::read_disturbance(0.3, 0.1, 2).expect("valid scenario");
+    ScenarioSampler::new(&sc, sys.m_objects, 42)
+        .take(ops)
+        .collect()
+}
+
+/// Retry policy for the fault runs: a generous deadline (faults here
+/// heal in a few attempts) with a backoff cap far below `SETTLE_POLL`,
+/// so an actively-retrying sender is guaranteed to bump the send
+/// counter between any two settle samples.
+fn retry_policy() -> RecoveryPolicy {
+    RecoveryPolicy {
+        retry_deadline: Duration::from_secs(5),
+        base: Duration::from_micros(100),
+        cap: Duration::from_millis(1),
+    }
+}
+
+const SETTLE_POLL: Duration = Duration::from_millis(5);
+
+/// Quiescence: the cost counter (charged once per logical message,
+/// before its first send attempt) *and* the fault layer's send-attempt
+/// counter are both stable across one poll. The second condition rules
+/// out a cascade parked in a retry loop: with the backoff cap above, a
+/// retrying sender attempts at least once per poll interval.
+fn settle(cluster: &Cluster, faults: &FaultHandle) -> u64 {
+    let mut last = (cluster.total_cost(), faults.sends());
+    loop {
+        std::thread::sleep(SETTLE_POLL);
+        let now = (cluster.total_cost(), faults.sends());
+        if now == last {
+            return now.0;
+        }
+        last = now;
+    }
+}
+
+type Replica = (CopyState, Bytes, u64, NodeId);
+
+struct RunTrace {
+    per_op_cost: Vec<u64>,
+    total_cost: u64,
+    total_messages: u64,
+    /// Send *attempts* observed by the fault layer (retries included).
+    sends: u64,
+    /// `finals[node][object]`: the complete replica snapshot.
+    finals: Vec<Vec<Replica>>,
+}
+
+/// Serialized run of the seeded workload over a fault-injected
+/// in-process mesh, settling after every operation.
+fn run(kind: ProtocolKind, schedule: FaultSchedule, ops: &[OpEvent]) -> RunTrace {
+    let transport = FaultTransport::new(InProcTransport::new(sys().n_nodes()), schedule);
+    let faults = transport.handle();
+    let cluster = Cluster::with_recovery(
+        sys(),
+        kind,
+        ShardConfig::default(),
+        transport,
+        retry_policy(),
+    )
+    .expect("cluster");
+    let mut per_op_cost = Vec::with_capacity(ops.len());
+    let mut before = 0u64;
+    for (i, ev) in ops.iter().enumerate() {
+        let h = cluster.handle(ev.node);
+        match ev.op {
+            OpKind::Read => {
+                let _ = h.read(ev.object).expect("read");
+            }
+            OpKind::Write => h
+                .write(ev.object, Bytes::from(format!("op{i}@{}", ev.node)))
+                .expect("write"),
+        }
+        let after = settle(&cluster, &faults);
+        per_op_cost.push(after - before);
+        before = after;
+    }
+    let total_cost = cluster.total_cost();
+    let total_messages = cluster.total_messages();
+    let sends = faults.sends();
+    let dump = cluster.shutdown().expect("shutdown");
+    assert!(dump.is_coherent(), "{kind:?}: replicas diverged");
+    let finals = dump
+        .copies
+        .iter()
+        .map(|node| {
+            node.iter()
+                .map(|r| (r.state, r.data.clone(), r.version, r.writer))
+                .collect()
+        })
+        .collect();
+    RunTrace {
+        per_op_cost,
+        total_cost,
+        total_messages,
+        sends,
+        finals,
+    }
+}
+
+/// Sever every client↔sequencer link at send count `at` and restore
+/// them all four attempts later. Whichever send crosses the trigger
+/// next needs the sequencer (every operation does), fails, and its
+/// retries advance the counter across the restore — the blackout always
+/// bites and always heals, with no reference to time.
+fn blackout(schedule: FaultSchedule, at: u64, sys: &SystemParams) -> FaultSchedule {
+    let home = sys.home();
+    (0..sys.n_clients as u16).fold(schedule, |s, c| {
+        s.sever_at(at, NodeId(c), home)
+            .restore_at(at + 4, NodeId(c), home)
+    })
+}
+
+#[test]
+fn sever_then_restore_is_invisible_in_the_final_state() {
+    let sys = sys();
+    let ops = workload(&sys, 20);
+    for kind in ProtocolKind::ALL {
+        let base = run(kind, FaultSchedule::new(), &ops);
+        // Two blackout windows, placed by fractions of the fault-free
+        // run's send count so they land mid-workload for any protocol.
+        let early = (base.sends / 4).max(1);
+        let mid = (base.sends / 2).max(early + 8);
+        let schedule = blackout(blackout(FaultSchedule::new(), early, &sys), mid, &sys);
+        let faulted = run(kind, schedule, &ops);
+        assert!(
+            faulted.sends > base.sends,
+            "{kind:?}: no send was ever severed and retried"
+        );
+        assert_eq!(
+            base.per_op_cost, faulted.per_op_cost,
+            "{kind:?}: per-operation costs diverged under sever+restore"
+        );
+        assert_eq!(base.total_cost, faulted.total_cost, "{kind:?}");
+        assert_eq!(base.total_messages, faulted.total_messages, "{kind:?}");
+        assert_eq!(
+            base.finals, faulted.finals,
+            "{kind:?}: replica state diverged after sever+restore"
+        );
+    }
+}
+
+#[test]
+fn killing_one_passive_client_never_wedges_the_cluster() {
+    let sys = sys();
+    for kind in ProtocolKind::ALL {
+        let transport =
+            FaultTransport::new(InProcTransport::new(sys.n_nodes()), FaultSchedule::new());
+        let faults = transport.handle();
+        let cluster =
+            Cluster::with_recovery(sys, kind, ShardConfig::default(), transport, retry_policy())
+                .expect("cluster");
+        // Node 2 never issues an operation, so it never owns anything;
+        // after the kill it only ever misses broadcast updates.
+        faults.kill(NodeId(2));
+        let h0 = cluster.handle(NodeId(0));
+        let h1 = cluster.handle(NodeId(1));
+        for round in 0..6u64 {
+            let obj = ObjectId((round % 3) as u32);
+            h0.write(obj, Bytes::from(round.to_le_bytes().to_vec()))
+                .unwrap_or_else(|e| panic!("{kind:?}: write with a dead bystander: {e}"));
+            h1.read(obj)
+                .unwrap_or_else(|e| panic!("{kind:?}: read with a dead bystander: {e}"));
+        }
+        settle(&cluster, &faults);
+        assert!(
+            cluster.poisoned().is_none(),
+            "{kind:?}: a dead bystander poisoned the cluster"
+        );
+        // The dead node's replicas are stale by design, so coherence is
+        // not asserted — only a clean, in-deadline stop with no
+        // stragglers and no poison.
+        cluster
+            .shutdown_within(DEFAULT_STOP_DEADLINE)
+            .unwrap_or_else(|e| panic!("{kind:?}: shutdown with a dead client: {e}"));
+    }
+}
+
+#[test]
+fn killing_the_sequencer_degrades_per_operation_not_cluster_wide() {
+    let sys = sys();
+    for kind in [
+        ProtocolKind::WriteThrough,
+        ProtocolKind::Illinois,
+        ProtocolKind::Dragon,
+    ] {
+        let transport =
+            FaultTransport::new(InProcTransport::new(sys.n_nodes()), FaultSchedule::new());
+        let faults = transport.handle();
+        let cluster =
+            Cluster::with_recovery(sys, kind, ShardConfig::default(), transport, retry_policy())
+                .expect("cluster");
+        let h0 = cluster.handle(NodeId(0));
+        h0.write(ObjectId(0), Bytes::from_static(b"warm"))
+            .expect("warm-up write");
+        settle(&cluster, &faults);
+        faults.kill(sys.home());
+        // Fresh objects force a sequencer round-trip; the operation
+        // fails with the peer's identity, and nothing is poisoned.
+        let err = h0
+            .write(ObjectId(1), Bytes::from_static(b"x"))
+            .expect_err("write through a dead sequencer");
+        assert!(
+            matches!(err, ClusterError::NodeDown(n) if n == sys.home()),
+            "{kind:?}: expected NodeDown({}), got {err}",
+            sys.home()
+        );
+        assert!(
+            cluster.poisoned().is_none(),
+            "{kind:?}: poisoned by a dead peer"
+        );
+        // Degradation is per operation, not sticky: another node's write
+        // (writes always need the sequencer; reads of an untouched
+        // object hit the initially-valid local copy) fails the same way
+        // instead of reporting a poisoned cluster.
+        let err2 = cluster
+            .handle(NodeId(1))
+            .write(ObjectId(2), Bytes::from_static(b"y"))
+            .expect_err("write through a dead sequencer");
+        assert!(
+            matches!(err2, ClusterError::NodeDown(_)),
+            "{kind:?}: got {err2}"
+        );
+        assert!(cluster.poisoned().is_none(), "{kind:?}");
+        cluster
+            .shutdown_within(DEFAULT_STOP_DEADLINE)
+            .unwrap_or_else(|e| panic!("{kind:?}: shutdown with a dead sequencer: {e}"));
+    }
+}
