@@ -1,0 +1,238 @@
+//! Sequential-consistency witness search.
+//!
+//! Given each client's program-order sequence of memory operations with
+//! their observed values, decide whether some single interleaving of
+//! all the sequences — program order preserved, every read returning
+//! the latest preceding write to its object (or the initial value) —
+//! explains the observations. This is the classic execution-based SC
+//! check (Qadeer's verification of sequential consistency by model
+//! checking): the explorer runs it on every terminal schedule. The
+//! caller decides the scope — `repmem-check` passes one object's
+//! operations at a time, because the runtime's asynchronous writes
+//! guarantee coherence (per-object SC), not cross-object SC.
+//!
+//! The search is a memoized DFS over interleaving states. A state is
+//! `(next position per client, last write per object)`; two search
+//! paths reaching the same state succeed or fail identically, so each
+//! is expanded once. Memo keys are exact (no hashing), because a false
+//! "already seen" here would surface as a spurious violation.
+//!
+//! Operations whose outcome the runtime left *indeterminate* — a write
+//! that failed (degraded after a kill) or never completed — are
+//! `optional`: the witness may include or exclude them. A failed read
+//! has no obligations and should not be passed in at all.
+
+use bytes::Bytes;
+use repmem_core::OpKind;
+use std::collections::HashSet;
+
+/// One operation in a client's observed sequence.
+#[derive(Debug, Clone)]
+pub struct ScOp {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Dense object index.
+    pub object: usize,
+    /// Written value (writes) or observed value (reads).
+    pub value: Bytes,
+    /// The witness may include or exclude this operation (incomplete or
+    /// failed writes, whose effect is indeterminate).
+    pub optional: bool,
+}
+
+/// The place of one operation in a witness: `(client, index)` into the
+/// input sequences, or `Skipped` for an optional operation the witness
+/// excluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// `seqs[client][index]` executes at this point of the total order.
+    At {
+        /// Client whose operation runs here.
+        client: usize,
+        /// Index in that client's sequence.
+        index: usize,
+    },
+    /// The optional operation `seqs[client][index]` never took effect.
+    Skipped {
+        /// Client whose operation is skipped.
+        client: usize,
+        /// Index in that client's sequence.
+        index: usize,
+    },
+}
+
+/// Search for a sequentially consistent total order explaining `seqs`.
+/// Returns the witness order, or `None` when the observations are not
+/// sequentially consistent.
+pub fn find_witness(seqs: &[Vec<ScOp>], n_objects: usize) -> Option<Vec<Placement>> {
+    let total: usize = seqs.iter().map(Vec::len).sum();
+    let mut search = Search {
+        seqs,
+        pos: vec![0; seqs.len()],
+        last: vec![None; n_objects],
+        order: Vec::with_capacity(total),
+        seen: HashSet::new(),
+        total,
+    };
+    if search.dfs() {
+        Some(search.order)
+    } else {
+        None
+    }
+}
+
+/// Last write applied per object: `(client, index)` into the input
+/// sequences, or `None` while the object still holds its initial value.
+type LastWrites = Vec<Option<(usize, usize)>>;
+
+struct Search<'a> {
+    seqs: &'a [Vec<ScOp>],
+    pos: Vec<usize>,
+    last: LastWrites,
+    order: Vec<Placement>,
+    /// Exact memo of expanded `(pos, last)` states.
+    seen: HashSet<(Vec<usize>, LastWrites)>,
+    total: usize,
+}
+
+impl Search<'_> {
+    fn current(&self, object: usize) -> &[u8] {
+        match self.last[object] {
+            Some((c, i)) => &self.seqs[c][i].value,
+            None => &[],
+        }
+    }
+
+    fn dfs(&mut self) -> bool {
+        if self.order.len() == self.total {
+            return true;
+        }
+        if !self.seen.insert((self.pos.clone(), self.last.clone())) {
+            return false;
+        }
+        for client in 0..self.seqs.len() {
+            let index = self.pos[client];
+            let Some(op) = self.seqs[client].get(index) else {
+                continue;
+            };
+            match op.kind {
+                OpKind::Write => {
+                    // Apply the write here...
+                    let saved = self.last[op.object];
+                    self.pos[client] += 1;
+                    self.last[op.object] = Some((client, index));
+                    self.order.push(Placement::At { client, index });
+                    if self.dfs() {
+                        return true;
+                    }
+                    self.order.pop();
+                    self.last[op.object] = saved;
+                    // ...or, if its effect is indeterminate, never.
+                    if op.optional {
+                        self.order.push(Placement::Skipped { client, index });
+                        if self.dfs() {
+                            return true;
+                        }
+                        self.order.pop();
+                    }
+                    self.pos[client] -= 1;
+                }
+                OpKind::Read => {
+                    let matches = self.current(op.object) == op.value.as_ref();
+                    if matches {
+                        self.pos[client] += 1;
+                        self.order.push(Placement::At { client, index });
+                        if self.dfs() {
+                            return true;
+                        }
+                        self.order.pop();
+                        self.pos[client] -= 1;
+                    } else if op.optional {
+                        self.pos[client] += 1;
+                        self.order.push(Placement::Skipped { client, index });
+                        if self.dfs() {
+                            return true;
+                        }
+                        self.order.pop();
+                        self.pos[client] -= 1;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(object: usize, value: &'static [u8]) -> ScOp {
+        ScOp {
+            kind: OpKind::Write,
+            object,
+            value: Bytes::from_static(value),
+            optional: false,
+        }
+    }
+
+    fn r(object: usize, value: &'static [u8]) -> ScOp {
+        ScOp {
+            kind: OpKind::Read,
+            object,
+            value: Bytes::from_static(value),
+            optional: false,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_consistent() {
+        assert!(find_witness(&[], 1).is_some());
+        assert!(find_witness(&[vec![], vec![]], 2).is_some());
+    }
+
+    #[test]
+    fn message_passing_outcomes() {
+        // c0: W(x)=a, W(y)=b   c1: R(y), R(x)
+        // Seeing y=b then x=init is NOT SC; y=b then x=a is.
+        let bad = [vec![w(0, b"a"), w(1, b"b")], vec![r(1, b"b"), r(0, b"")]];
+        assert!(find_witness(&bad, 2).is_none());
+        let good = [vec![w(0, b"a"), w(1, b"b")], vec![r(1, b"b"), r(0, b"a")]];
+        assert!(find_witness(&good, 2).is_some());
+    }
+
+    #[test]
+    fn stale_reread_is_rejected() {
+        // c1 reads the new value and then the old one again: not SC.
+        let seqs = [vec![w(0, b"new")], vec![r(0, b"new"), r(0, b"")]];
+        assert!(find_witness(&seqs, 1).is_none());
+    }
+
+    #[test]
+    fn optional_write_may_be_skipped_or_applied() {
+        let mut lost = w(0, b"lost");
+        lost.optional = true;
+        // Reads that never see the optional write: witness skips it.
+        let seqs = [vec![lost.clone()], vec![r(0, b""), r(0, b"")]];
+        let witness = find_witness(&seqs, 1).expect("skippable");
+        assert!(witness.contains(&Placement::Skipped {
+            client: 0,
+            index: 0
+        }));
+        // Reads that do see it: witness applies it.
+        let seqs = [vec![lost], vec![r(0, b"lost")]];
+        let witness = find_witness(&seqs, 1).expect("appliable");
+        assert!(witness.contains(&Placement::At {
+            client: 0,
+            index: 0
+        }));
+    }
+
+    #[test]
+    fn mandatory_write_must_be_ordered_after_observed_older_read() {
+        // A single client writing then re-reading the old value is not
+        // SC even though another interleaving of clients exists.
+        let seqs = [vec![w(0, b"v"), r(0, b"")]];
+        assert!(find_witness(&seqs, 1).is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Delta-debugging minimizer for failing schedules.
+//!
+//! Classic ddmin over the event list: try removing chunks of
+//! progressively smaller size, keeping any candidate that still
+//! violates a check on tolerant replay (inapplicable events are
+//! skipped, so removals never make a candidate malformed — just
+//! possibly passing). The result is 1-minimal: removing any single
+//! remaining event makes the schedule pass.
+
+use crate::checks;
+use crate::exec::{CheckConfig, Ev, Exec};
+
+/// Shrink `events` to a 1-minimal schedule that still fails some check
+/// under `cfg`. The input must itself be failing; the output is
+/// normalized to the events that actually apply on replay.
+pub fn minimize(cfg: &CheckConfig, events: &[Ev]) -> Vec<Ev> {
+    let fails = |candidate: &[Ev]| -> bool {
+        let exec = Exec::replay(cfg, candidate);
+        checks::check(&exec).is_some()
+    };
+    debug_assert!(fails(events), "minimize() requires a failing schedule");
+    let mut current = events.to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut chunk = (current.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < current.len() {
+                let mut candidate = current.clone();
+                candidate.drain(i..(i + chunk).min(candidate.len()));
+                if fails(&candidate) {
+                    current = candidate;
+                    changed = true;
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    // Normalize: keep only the events that actually apply.
+    let (_, applied) = Exec::replay_traced(cfg, &current);
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Mutation;
+    use crate::explore::{exhaustive, ExploreLimits};
+    use repmem_core::{MsgKind, ProtocolKind};
+
+    #[test]
+    fn shrunk_schedule_still_fails_and_is_one_minimal() {
+        let mut cfg = CheckConfig::new(ProtocolKind::WriteThrough, 2, 1, 1);
+        cfg.program = vec![
+            vec![crate::exec::ProgOp::Write(0)],
+            vec![crate::exec::ProgOp::Read(0), crate::exec::ProgOp::Read(0)],
+        ];
+        cfg.mutation = Mutation::DropKind {
+            kind: MsgKind::WInv,
+            nth: 1,
+        };
+        let report = exhaustive(&cfg, ExploreLimits::default());
+        let found = report.violation.expect("mutation must be caught");
+        let shrunk = minimize(&cfg, &found.events);
+        assert!(!shrunk.is_empty());
+        assert!(shrunk.len() <= found.events.len());
+        let exec = Exec::replay(&cfg, &shrunk);
+        assert!(checks::check(&exec).is_some(), "shrunk schedule passes");
+        for i in 0..shrunk.len() {
+            let mut smaller = shrunk.clone();
+            smaller.remove(i);
+            let exec = Exec::replay(&cfg, &smaller);
+            assert!(
+                checks::check(&exec).is_none(),
+                "not 1-minimal: event {i} removable"
+            );
+        }
+    }
+}

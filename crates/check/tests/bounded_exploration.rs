@@ -1,0 +1,97 @@
+//! Integration tier for the schedule explorer: bounded-exhaustive runs
+//! must be clean on every protocol, seeded bugs must be caught, and a
+//! caught bug must survive shrinking and the artifact round trip.
+//!
+//! Bounds here are deliberately smaller than the CI `repmem-check`
+//! invocations (these run in debug mode on every `cargo test`); the CI
+//! `check` job drives the release binary at the full PR bound.
+
+use repmem_check::{
+    check, exhaustive, minimize, sample, Artifact, CheckConfig, Expect, ExploreLimits, Mutation,
+    ViolationKind,
+};
+use repmem_core::{MsgKind, NodeId, ProtocolKind};
+use repmem_net::FaultAction;
+
+#[test]
+fn exhaustive_fault_free_is_clean_for_every_protocol() {
+    for kind in ProtocolKind::ALL {
+        let cfg = CheckConfig::new(kind, 2, 2, 2);
+        let report = exhaustive(&cfg, ExploreLimits::default());
+        assert!(!report.capped, "{kind:?}: exploration hit a cap");
+        assert!(
+            report.violation.is_none(),
+            "{kind:?}: {}",
+            report.violation.unwrap().detail
+        );
+        assert!(report.terminals > 0, "{kind:?}: no terminal schedules");
+    }
+}
+
+#[test]
+fn exhaustive_blackout_is_clean_for_invalidation_and_update_families() {
+    // One representative per protocol family keeps the debug-mode cost
+    // bounded; the CI `check` job runs all eight with every palette.
+    for kind in [ProtocolKind::WriteThrough, ProtocolKind::Dragon] {
+        let mut cfg = CheckConfig::new(kind, 2, 2, 2);
+        cfg.faults = vec![
+            FaultAction::Sever(NodeId(0), NodeId(2)),
+            FaultAction::Restore(NodeId(0), NodeId(2)),
+        ];
+        let report = exhaustive(&cfg, ExploreLimits::default());
+        assert!(!report.capped, "{kind:?}: exploration hit a cap");
+        assert!(
+            report.violation.is_none(),
+            "{kind:?}: {}",
+            report.violation.unwrap().detail
+        );
+    }
+}
+
+#[test]
+fn sampling_with_kill_is_clean() {
+    for kind in [ProtocolKind::Berkeley, ProtocolKind::Firefly] {
+        let mut cfg = CheckConfig::new(kind, 2, 2, 2);
+        cfg.faults = vec![FaultAction::Kill(NodeId(1))];
+        let report = sample(&cfg, 7, 200);
+        assert!(
+            report.violation.is_none(),
+            "{kind:?}: {}",
+            report.violation.unwrap().detail
+        );
+        assert_eq!(report.executions, 200);
+    }
+}
+
+/// The acceptance-gate mutation: drop Write-Through's first
+/// invalidation. The explorer must find the stale replica, the shrunk
+/// schedule must still fail, and the serialized artifact must replay to
+/// the same verdict.
+#[test]
+fn seeded_lost_invalidation_is_caught_shrunk_and_replayable() {
+    let mut cfg = CheckConfig::new(ProtocolKind::WriteThrough, 2, 2, 2);
+    cfg.mutation = Mutation::DropKind {
+        kind: MsgKind::WInv,
+        nth: 1,
+    };
+    let report = exhaustive(&cfg, ExploreLimits::default());
+    let found = report.violation.expect("seeded bug must be caught");
+    assert_eq!(found.kind, ViolationKind::Divergence, "{}", found.detail);
+
+    let shrunk = minimize(&cfg, &found.events);
+    assert!(shrunk.len() <= found.events.len());
+    let (exec, applied) = repmem_check::Exec::replay_traced(&cfg, &shrunk);
+    assert_eq!(applied.len(), shrunk.len(), "shrunk schedule must replay");
+    assert!(check(&exec).is_some(), "shrunk schedule must still fail");
+
+    let artifact = Artifact {
+        cfg,
+        events: shrunk,
+        note: "integration-test counterexample".to_owned(),
+        expect: Expect::Violation,
+    };
+    let reparsed = Artifact::parse(&artifact.render()).expect("round trip");
+    reparsed
+        .check_replay()
+        .expect("verdict must survive the round trip");
+}

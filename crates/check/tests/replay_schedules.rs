@@ -1,0 +1,39 @@
+//! Re-execute every committed schedule artifact under `tests/schedules/`
+//! (repo root) and hold it to its locked-in verdict. These are the
+//! hand-minimized tricky interleavings and shrunk counterexamples the
+//! explorer has produced; a protocol or transport change that flips one
+//! fails here with the artifact's note.
+
+use repmem_check::Artifact;
+use std::path::PathBuf;
+
+fn schedules_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/schedules")
+}
+
+#[test]
+fn committed_schedules_replay_to_their_verdicts() {
+    let dir = schedules_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("read_dir entry").path();
+            (path.extension().is_some_and(|ext| ext == "sched")).then_some(path)
+        })
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 2,
+        "expected at least two committed schedules in {}, found {}",
+        dir.display(),
+        paths.len()
+    );
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let artifact = Artifact::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        artifact
+            .check_replay()
+            .unwrap_or_else(|e| panic!("{} ({}): {e}", path.display(), artifact.note));
+    }
+}

@@ -117,6 +117,23 @@ impl FaultSchedule {
         });
         self
     }
+
+    /// The scheduled events in insertion order, as built.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The schedule as an ordered *event stream*: the fault actions
+    /// sorted by trigger count, trigger dropped. This is the hook the
+    /// schedule explorer consumes — it keeps the stream's order but
+    /// chooses the firing points itself, so one `FaultSchedule` value
+    /// scripts both a wall-clock run ([`FaultTransport`]) and an
+    /// exhaustive interleaving search (`repmem-check`).
+    pub fn action_stream(&self) -> Vec<FaultAction> {
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at_send);
+        events.into_iter().map(|e| e.action).collect()
+    }
 }
 
 /// Normalized unordered pair key for the severed-link set.

@@ -30,6 +30,11 @@
 //!   kill endpoints and stretch delivery at exact send counts, with FIFO
 //!   order preserved on every surviving segment — the harness behind the
 //!   runtime's recovery guarantees.
+//! * [`SchedTransport`] — the scheduler hook on the in-proc mesh: sends
+//!   park in per-link FIFO queues and a [`SchedHandle`] decides which
+//!   link delivers next, so a checker can enumerate every interleaving
+//!   the FIFO-channel axioms admit (plus inject [`FaultAction`]s at
+//!   chosen points). The substrate of the `repmem-check` explorer.
 //!
 //! Wrappers compose: `MeteredTransport::new(DelayTransport::new(...))`
 //! meters the delayed link.
@@ -39,6 +44,7 @@ pub mod delay;
 pub mod fault;
 pub mod inproc;
 pub mod metered;
+pub mod sched;
 pub mod tcp;
 
 pub use codec::{CodecError, Frame, MAX_FRAME_LEN, WIRE_VERSION};
@@ -46,6 +52,7 @@ pub use delay::{DelayConfig, DelayTransport};
 pub use fault::{FaultAction, FaultEvent, FaultHandle, FaultSchedule, FaultTransport};
 pub use inproc::InProcTransport;
 pub use metered::{ClassCounters, LinkSnapshot, MeterHandle, MeterStats, MeteredTransport};
+pub use sched::{SchedHandle, SchedTransport};
 pub use tcp::{
     CtrlConn, CtrlHandler, ReconnectPolicy, TcpEndpoint, TcpMeshConfig, TcpTransport, CTRL_NODE,
 };

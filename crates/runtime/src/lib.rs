@@ -37,7 +37,9 @@ pub mod cluster;
 mod node;
 pub mod remote;
 pub mod shard;
+pub mod step;
 
 pub use cluster::{Cluster, ClusterDump, Handle, Ticket, DEFAULT_STOP_DEADLINE};
 pub use node::{ClusterError, RecoveryPolicy, ReplicaSnap};
 pub use shard::ShardConfig;
+pub use step::StepCluster;

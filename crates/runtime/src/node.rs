@@ -314,6 +314,48 @@ impl NodeCtx {
     }
 }
 
+impl NodeCtx {
+    /// Whether a new application operation on `object` may start now:
+    /// a window slot is free and no operation is in flight on the
+    /// object. Used by the step-driven cluster, which has no backlog.
+    pub(crate) fn can_accept(&self, object: ObjectId) -> bool {
+        self.in_flight < self.window && self.pending.get(object.idx()).is_some_and(Option::is_none)
+    }
+
+    /// Snapshot every replica of this node without consuming it (the
+    /// step-driven cluster's state-extraction hook; `node_loop` keeps
+    /// its consuming variant for the threaded shutdown path).
+    pub(crate) fn replica_snaps(&self) -> Vec<ReplicaSnap> {
+        self.procs
+            .iter()
+            .map(|p| ReplicaSnap {
+                state: p.state,
+                data: p.copy.data.clone(),
+                version: p.copy.version,
+                writer: p.copy.writer,
+            })
+            .collect()
+    }
+
+    /// The ownership register of every object's protocol process.
+    pub(crate) fn owner_registers(&self) -> Vec<NodeId> {
+        self.procs.iter().map(|p| p.owner).collect()
+    }
+
+    /// The in-flight operations at this node:
+    /// `(object, kind, tag, blocked)` per occupied pending slot.
+    pub(crate) fn pending_brief(&self) -> Vec<(ObjectId, OpKind, OpTag, bool)> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.as_ref()
+                    .map(|p| (ObjectId(i as u32), p.op, p.tag, p.blocked))
+            })
+            .collect()
+    }
+}
+
 struct NodeHost<'a> {
     me: NodeId,
     sys: SystemParams,
@@ -587,7 +629,7 @@ impl NodeCtx {
         Ok((returned, enabled))
     }
 
-    fn handle_env(&mut self, env: Envelope) -> Result<(), String> {
+    pub(crate) fn handle_env(&mut self, env: Envelope) -> Result<(), String> {
         self.clock.observe(env.clock);
         if let Some(p) = &env.params {
             self.clock.observe(p.version);
@@ -622,7 +664,7 @@ impl NodeCtx {
         }
     }
 
-    fn handle_app(&mut self, req: AppReq, tag: OpTag) -> Result<(), String> {
+    pub(crate) fn handle_app(&mut self, req: AppReq, tag: OpTag) -> Result<(), String> {
         let idx = self.proc_index(req.object);
         if idx >= self.procs.len() {
             return Err(format!(
