@@ -177,6 +177,20 @@ pub fn firefly(sys: &SystemParams, total_write: f64) -> f64 {
     total_write * (sys.n_clients as f64 * (sys.p as f64 + 1.0) + 1.0)
 }
 
+/// Quorum (SC-ABD), any workload with total write probability `w`.
+///
+/// Every operation runs a full two-phase majority round regardless of
+/// replica state, so the cost is *state-independent*: a read pays
+/// `N(2S+4)` (probe/vote then copy write-back/ack to all `N = n−1`
+/// peers), a write pays `N(S+P+4)` (the commit wave carries parameters
+/// instead of a second copy):
+///
+/// `acc = w·N(S+P+4) + (1−w)·N(2S+4)`
+pub fn quorum(sys: &SystemParams, total_write: f64) -> f64 {
+    let (s, pc, n) = (sys.s as f64, sys.p as f64, sys.n_clients as f64);
+    total_write * n * (s + pc + 4.0) + (1.0 - total_write) * n * (2.0 * s + 4.0)
+}
+
 /// Write-Through-V, multiple activity centers:
 /// `acc = [(1−p)p(β−1)/(1+(β−1)p)](S+2) + p(P+N+2)`.
 pub fn wtv_mc(sys: &SystemParams, p: f64, beta: usize) -> f64 {
@@ -186,7 +200,7 @@ pub fn wtv_mc(sys: &SystemParams, p: f64, beta: usize) -> f64 {
 }
 
 /// The reconstructed Table 6: read-disturbance closed form for any of the
-/// eight protocols.
+/// eight protocols (plus the sequencer-free Quorum extension).
 pub fn closed_rd(kind: ProtocolKind, sys: &SystemParams, p: f64, sigma: f64, a: usize) -> f64 {
     match kind {
         ProtocolKind::WriteThrough => wt_rd(sys, p, sigma, a),
@@ -197,6 +211,7 @@ pub fn closed_rd(kind: ProtocolKind, sys: &SystemParams, p: f64, sigma: f64, a: 
         ProtocolKind::Berkeley => berkeley_rd(sys, p, sigma, a),
         ProtocolKind::Dragon => dragon(sys, p),
         ProtocolKind::Firefly => firefly(sys, p),
+        ProtocolKind::Quorum => quorum(sys, p),
     }
 }
 
@@ -209,6 +224,7 @@ pub fn closed_wd(kind: ProtocolKind, sys: &SystemParams, p: f64, xi: f64, a: usi
         ProtocolKind::WriteThroughV => Some(wtv_wd(sys, p, xi, a)),
         ProtocolKind::Dragon => Some(dragon(sys, total)),
         ProtocolKind::Firefly => Some(firefly(sys, total)),
+        ProtocolKind::Quorum => Some(quorum(sys, total)),
         _ => None,
     }
 }
@@ -220,6 +236,7 @@ pub fn closed_mc(kind: ProtocolKind, sys: &SystemParams, p: f64, beta: usize) ->
         ProtocolKind::WriteThroughV => Some(wtv_mc(sys, p, beta)),
         ProtocolKind::Dragon => Some(dragon(sys, p)),
         ProtocolKind::Firefly => Some(firefly(sys, p)),
+        ProtocolKind::Quorum => Some(quorum(sys, p)),
         _ => None,
     }
 }
@@ -236,6 +253,9 @@ pub fn ideal(kind: ProtocolKind, sys: &SystemParams, p: f64) -> f64 {
         | ProtocolKind::Berkeley => 0.0,
         ProtocolKind::Dragon => dragon(sys, p),
         ProtocolKind::Firefly => firefly(sys, p),
+        // Quorum rounds are state-independent, so the ideal workload
+        // buys nothing: even σ = 0 reads pay the full majority round.
+        ProtocolKind::Quorum => quorum(sys, p),
     }
 }
 
@@ -256,7 +276,7 @@ mod tests {
     #[test]
     fn all_rd_forms_match_engine_at_spot_points() {
         let sys = SystemParams::new(7, 120, 25);
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             for (p, sigma, a) in [
                 (0.3, 0.06, 3),
                 (0.1, 0.02, 5),
@@ -278,7 +298,7 @@ mod tests {
         let sys = SystemParams::new(6, 90, 15);
         for (p, xi, a) in [(0.2, 0.05, 3), (0.4, 0.1, 2), (0.05, 0.02, 4)] {
             let scenario = Scenario::write_disturbance(p, xi, a).unwrap();
-            for kind in ProtocolKind::ALL {
+            for kind in ProtocolKind::EVERY {
                 if let Some(closed) = closed_wd(kind, &sys, p, xi, a) {
                     let engine = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
                         .unwrap()
@@ -297,7 +317,7 @@ mod tests {
         let sys = SystemParams::new(6, 90, 15);
         for (p, beta) in [(0.3, 2), (0.5, 4), (0.15, 3)] {
             let scenario = Scenario::multiple_centers(p, beta).unwrap();
-            for kind in ProtocolKind::ALL {
+            for kind in ProtocolKind::EVERY {
                 if let Some(closed) = closed_mc(kind, &sys, p, beta) {
                     let engine = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
                         .unwrap()
@@ -314,7 +334,7 @@ mod tests {
     #[test]
     fn rd_reduces_to_ideal_at_sigma_zero() {
         let sys = SystemParams::new(9, 300, 30);
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             for p in [0.1, 0.5, 0.9] {
                 let rd0 = closed_rd(kind, &sys, p, 0.0, 4);
                 let id = ideal(kind, &sys, p);
@@ -328,10 +348,30 @@ mod tests {
 
     #[test]
     fn zero_write_prob_is_free_everywhere() {
+        // A sequencer-family property: quorum reads still pay a full
+        // majority round at p = 0, which is exactly the premium the
+        // crossover analysis prices against availability.
         let sys = SystemParams::figure5();
         for kind in ProtocolKind::ALL {
             assert_eq!(closed_rd(kind, &sys, 0.0, 0.05, 10), 0.0, "{kind:?}");
         }
+        assert!(closed_rd(ProtocolKind::Quorum, &sys, 0.0, 0.05, 10) > 0.0);
+    }
+
+    #[test]
+    fn quorum_form_is_state_independent() {
+        // Same acc whatever the disturbance split, as long as the total
+        // write probability agrees.
+        let sys = SystemParams::new(7, 120, 25);
+        let w = 0.3;
+        let base = quorum(&sys, w);
+        for (sigma, a) in [(0.0, 1), (0.05, 2), (0.1, 4)] {
+            assert!((closed_rd(ProtocolKind::Quorum, &sys, w, sigma, a) - base).abs() < 1e-12);
+        }
+        let n = sys.n_clients as f64;
+        let (s, p) = (sys.s as f64, sys.p as f64);
+        assert_eq!(quorum(&sys, 1.0), n * (s + p + 4.0));
+        assert_eq!(quorum(&sys, 0.0), n * (2.0 * s + 4.0));
     }
 }
 
@@ -364,7 +404,7 @@ mod randomized_tests {
             checked += 1;
             let sys = SystemParams::new(n, 64, 12);
             let scenario = Scenario::read_disturbance(p, sigma, a).unwrap();
-            for kind in repmem_core::ProtocolKind::ALL {
+            for kind in repmem_core::ProtocolKind::EVERY {
                 let closed = closed_rd(kind, &sys, p, sigma, a);
                 let engine = analyze(protocol(kind), &sys, &scenario, AnalyzeOpts::default())
                     .unwrap()

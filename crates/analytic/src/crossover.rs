@@ -138,6 +138,48 @@ pub fn crossover_p(
     Some(0.5 * (lo + hi))
 }
 
+/// The availability premium of the sequencer-free Quorum protocol over a
+/// sequencer protocol at a read-disturbance point: `acc_Q − acc_kind`.
+///
+/// Positive means the quorum rounds cost that much *extra* per operation
+/// — the price paid for surviving a minority of dead replicas with no
+/// recovery protocol at all.
+pub fn quorum_premium(kind: ProtocolKind, sys: &SystemParams, p: f64, sigma: f64, a: usize) -> f64 {
+    closed_rd(ProtocolKind::Quorum, sys, p, sigma, a) - closed_rd(kind, sys, p, sigma, a)
+}
+
+/// Break-even kill rate against a sequencer protocol.
+///
+/// Model a node loss as an event arriving once every `1/κ` operations
+/// that costs the sequencer family a recovery `penalty` (in the same
+/// communication-cost units: re-election, copy re-fetch, failed-op
+/// retries) while costing Quorum nothing (a minority loss leaves every
+/// round completing). The effective costs cross at
+///
+/// `κ* = (acc_Q − acc_kind) / penalty`
+///
+/// — above that kill rate the quorum protocol is cheaper outright.
+/// `None` when there is no break-even: a non-positive premium means
+/// Quorum already wins at κ = 0 (and a non-positive penalty prices
+/// kills at nothing, so the sequencer never loses).
+pub fn quorum_break_even_kill_rate(
+    kind: ProtocolKind,
+    sys: &SystemParams,
+    p: f64,
+    sigma: f64,
+    a: usize,
+    penalty: f64,
+) -> Option<f64> {
+    let premium = quorum_premium(kind, sys, p, sigma, a);
+    if premium <= 0.0 {
+        return None;
+    }
+    if penalty <= 0.0 {
+        return None;
+    }
+    Some(premium / penalty)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +374,40 @@ mod tests {
             a,
         );
         assert_eq!(heavy, Some(ProtocolKind::WriteThroughV));
+    }
+
+    #[test]
+    fn quorum_break_even_prices_availability() {
+        let sys = SystemParams::figure5();
+        let (p, sigma, a) = (0.3, 0.02, 10);
+        // Against Berkeley (the paper's overall winner) the quorum
+        // premium is positive: availability is not free.
+        let premium = quorum_premium(ProtocolKind::Berkeley, &sys, p, sigma, a);
+        assert!(premium > 0.0);
+        // The break-even kill rate scales inversely with the penalty a
+        // sequencer loss costs, and at that rate the effective costs
+        // really do cross.
+        let penalty = 50_000.0;
+        let k = quorum_break_even_kill_rate(ProtocolKind::Berkeley, &sys, p, sigma, a, penalty)
+            .expect("positive premium must break even");
+        assert!((k * penalty - premium).abs() < 1e-9);
+        let k2 =
+            quorum_break_even_kill_rate(ProtocolKind::Berkeley, &sys, p, sigma, a, 2.0 * penalty)
+                .expect("break-even at doubled penalty");
+        assert!((k2 * 2.0 - k / 1.0).abs() < 1e-12 || (k2 - k / 2.0).abs() < 1e-12);
+        let seq = closed_rd(ProtocolKind::Berkeley, &sys, p, sigma, a);
+        let q = closed_rd(ProtocolKind::Quorum, &sys, p, sigma, a);
+        assert!(seq + 2.0 * k * penalty > q, "above κ*, quorum wins");
+        assert!(seq + 0.5 * k * penalty < q, "below κ*, the sequencer wins");
+        // Degenerate cases: no crossover without a premium or a penalty.
+        assert_eq!(
+            quorum_break_even_kill_rate(ProtocolKind::Quorum, &sys, p, sigma, a, penalty),
+            None
+        );
+        assert_eq!(
+            quorum_break_even_kill_rate(ProtocolKind::Berkeley, &sys, p, sigma, a, 0.0),
+            None
+        );
     }
 
     #[test]

@@ -70,6 +70,11 @@ struct OracleHost<'a> {
     kinds: &'a mut Vec<MsgKind>,
     rets: &'a mut u32,
     changes: &'a mut u32,
+    // Quorum vote counter, shared across the cascade (the host is
+    // rebuilt per delivered message; one counter pair suffices because
+    // the oracle runs one operation — hence one round — at a time).
+    votes: &'a mut usize,
+    need: &'a mut usize,
 }
 
 impl Actions for OracleHost<'_> {
@@ -129,6 +134,14 @@ impl Actions for OracleHost<'_> {
             None
         }
     }
+    fn quorum_arm(&mut self, need: usize) {
+        *self.need = need;
+        *self.votes = 0;
+    }
+    fn quorum_vote(&mut self) -> bool {
+        *self.votes += 1;
+        *self.votes == *self.need
+    }
 }
 
 /// Execute one operation atomically, mutating `g` to the successor global
@@ -161,6 +174,7 @@ pub fn execute(
     let mut kinds = Vec::new();
     let mut rets = 0u32;
     let mut changes = 0u32;
+    let (mut votes, mut need) = (0usize, 0usize);
     let budget = 64 * sys.n_nodes() + 256;
     let mut steps = 0usize;
 
@@ -184,6 +198,8 @@ pub fn execute(
             kinds: &mut kinds,
             rets: &mut rets,
             changes: &mut changes,
+            votes: &mut votes,
+            need: &mut need,
         };
         let next = protocol.step(&mut host, state, &msg);
         g.states[dst.idx()] = next;
@@ -370,8 +386,33 @@ mod tests {
     }
 
     #[test]
+    fn quorum_rounds_are_state_independent() {
+        let sys = sys();
+        let p = protocol(ProtocolKind::Quorum);
+        let (n, s, pp) = (sys.n_clients as u64, sys.s, sys.p);
+        let mut g = Global::initial(p, &sys);
+
+        // Every read pays a full round — N(2S+4) — hit or not.
+        for node in [NodeId(0), NodeId(0), NodeId(2), sys.home()] {
+            let o = execute(p, &sys, &mut g, node, OpKind::Read);
+            assert_eq!(o.cost, n * (2 * s + 4));
+            assert_eq!(o.rets, 1);
+        }
+        // Every write pays N(S+P+4) and lands on every replica (the
+        // initiator's change plus N commit applications).
+        for node in [NodeId(1), NodeId(1), sys.home()] {
+            let o = execute(p, &sys, &mut g, node, OpKind::Write);
+            assert_eq!(o.cost, n * (s + pp + 4));
+            assert_eq!(o.changes, 1 + n as u32);
+        }
+        // No state ever leaves VALID at quiescence: the chain engine
+        // sees a single global state.
+        assert_eq!(g, Global::initial(p, &sys));
+    }
+
+    #[test]
     fn reads_always_return_exactly_once() {
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             let sys = sys();
             let p = protocol(kind);
             let mut g = Global::initial(p, &sys);
@@ -390,7 +431,7 @@ mod tests {
     fn every_write_reaches_the_authoritative_copy() {
         // In serialized execution every protocol propagates a write to at
         // least one copy (change >= 1).
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             let sys = sys();
             let p = protocol(kind);
             let mut g = Global::initial(p, &sys);

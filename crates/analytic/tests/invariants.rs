@@ -109,6 +109,13 @@ fn invariants(kind: ProtocolKind, sys: &SystemParams, g: &Global) -> Result<(), 
                 return err("all Firefly copies must stay VALID".into());
             }
         }
+        ProtocolKind::Quorum => {
+            // Sequencer-free: no QUERYING/COMMITTING phase survives an
+            // atomic operation, every replica back to VALID.
+            if g.states.iter().any(|s| *s != Valid) {
+                return err("all Quorum copies must be VALID at quiescence".into());
+            }
+        }
     }
     Ok(())
 }
@@ -126,7 +133,7 @@ fn random_walks_preserve_invariants() {
             .map(|_| (rng.random_range(0u32..7) as u16, rng.random::<bool>()))
             .collect();
         let sys = SystemParams::new(n_clients, 32, 8);
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             let proto = protocol(kind);
             let mut g = Global::initial(proto, &sys);
             assert!(
@@ -155,7 +162,7 @@ fn random_walks_preserve_invariants() {
 #[test]
 fn repeated_local_operations_become_free() {
     let sys = SystemParams::new(4, 100, 30);
-    for kind in ProtocolKind::ALL {
+    for kind in ProtocolKind::EVERY {
         let proto = protocol(kind);
         for op in [OpKind::Read, OpKind::Write] {
             let mut g = Global::initial(proto, &sys);
@@ -170,7 +177,9 @@ fn repeated_local_operations_become_free() {
                 kind,
                 ProtocolKind::WriteThrough | ProtocolKind::WriteThroughV
             ) && op == OpKind::Write;
-            if is_update_write || is_wt_write {
+            // Quorum has no free steady state at all: every operation
+            // runs a full majority round.
+            if is_update_write || is_wt_write || kind == ProtocolKind::Quorum {
                 // Write-through/update protocols pay per write, forever.
                 assert!(steady > 0, "{kind:?} {op}: expected recurring cost");
             } else {

@@ -2,7 +2,9 @@
 //! relations, crossover lines and the minimum-cost region map.
 
 use repmem_analytic::closed::{closed_rd, ideal};
-use repmem_analytic::crossover::{crossover_p, wt_vs_wtv_line, RegionMap};
+use repmem_analytic::crossover::{
+    crossover_p, quorum_break_even_kill_rate, quorum_premium, wt_vs_wtv_line, RegionMap,
+};
 use repmem_bench::{grid2, linspace, par_map, render_table, write_csv, write_text, SweepTimer};
 use repmem_core::{ProtocolKind, SystemParams};
 
@@ -134,6 +136,7 @@ fn main() {
         ProtocolKind::Berkeley => 'B',
         ProtocolKind::Dragon => 'D',
         ProtocolKind::Firefly => 'F',
+        ProtocolKind::Quorum => 'Q',
     };
     for (ri, row) in map.winners.iter().enumerate().rev() {
         art.push_str(&format!("p={:4.2} | ", map.ps[ri]));
@@ -184,5 +187,50 @@ fn main() {
         csv,
     );
     println!("written: {} and {}", path.display(), cpath.display());
+
+    // 6. The sequencer-free Quorum protocol: availability premium per
+    // operation over each sequencer protocol, and the break-even point.
+    // A node loss costs the sequencer family a recovery penalty
+    // (re-election plus re-fetching the S-sized copy, priced at S+N+2)
+    // while a minority loss costs Quorum nothing; the effective costs
+    // cross at kappa* = premium/penalty kills per operation. At the
+    // Figure-5 scale the premium is dominated by the 2S-per-peer copy
+    // traffic of every read's write-back phase, so kappa* lands far
+    // above any physical kill rate — the last column inverts the
+    // question and reports the recovery cost a kill would have to
+    // carry, at one kill per 10^4 operations, for the quorum rounds to
+    // be cheaper outright.
+    println!("Quorum (SC-ABD) availability premium and break-even analysis");
+    let penalty = (sys.s + sys.n_clients as u64 + 2) as f64;
+    let kill_rate = 1e-4;
+    println!("(p=0.3, sigma=0.01, a={a}, recovery penalty S+N+2 = {penalty}, reference kill rate {kill_rate}):");
+    let mut q_rows = Vec::new();
+    for k in ProtocolKind::ALL {
+        let premium = quorum_premium(k, &sys, 0.3, 0.01, a);
+        let kappa = quorum_break_even_kill_rate(k, &sys, 0.3, 0.01, a, penalty);
+        let kappa_cell = match kappa {
+            None => "quorum already cheaper".to_string(),
+            Some(v) if v > 1.0 => format!("{v:.2} (>1/op: never)"),
+            Some(v) => format!("{v:.6} (1 per {:.0} ops)", 1.0 / v),
+        };
+        q_rows.push(vec![
+            k.name().to_string(),
+            format!("{premium:+.2}"),
+            kappa_cell,
+            format!("{:.3e}", premium.max(0.0) / kill_rate),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "vs protocol".to_string(),
+                "premium/op".to_string(),
+                "kappa* at S+N+2".to_string(),
+                "penalty* at 1e-4".to_string(),
+            ],
+            &q_rows
+        )
+    );
     timer.finish(None);
 }

@@ -183,7 +183,7 @@ fn main() {
     println!();
 
     let mut rows: Vec<(ProtocolKind, Vec<f64>)> = Vec::new();
-    for kind in ProtocolKind::ALL {
+    for kind in ProtocolKind::EVERY {
         print!("{:<16}", kind.name());
         let mut cells = Vec::new();
         for v in VARIANTS {

@@ -132,7 +132,7 @@ impl Artifact {
             match key {
                 "protocol" => {
                     protocol = Some(
-                        ProtocolKind::ALL
+                        ProtocolKind::EVERY
                             .into_iter()
                             .find(|k| k.name() == rest)
                             .ok_or_else(|| at("unknown protocol"))?,

@@ -84,7 +84,7 @@ struct Options {
 impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
         let mut opts = Options {
-            protocols: ProtocolKind::ALL.to_vec(),
+            protocols: ProtocolKind::EVERY.to_vec(),
             clients: 2,
             objects: 2,
             ops: 2,
@@ -106,9 +106,9 @@ impl Options {
                 "--protocol" => {
                     let v = value()?;
                     opts.protocols = if v == "all" {
-                        ProtocolKind::ALL.to_vec()
+                        ProtocolKind::EVERY.to_vec()
                     } else {
-                        vec![ProtocolKind::ALL
+                        vec![ProtocolKind::EVERY
                             .into_iter()
                             .find(|k| k.name().eq_ignore_ascii_case(v))
                             .ok_or(format!("unknown protocol `{v}`"))?]
@@ -153,11 +153,12 @@ impl Options {
 /// Named fault palettes. Sever palettes are balanced (every sever has
 /// its restore), so quiescence — and with it the convergence check —
 /// stays reachable.
-const PALETTES: [(&str, &str); 4] = [
+const PALETTES: [(&str, &str); 5] = [
     ("none", "fault-free"),
     ("blackout", "sever client 0 <-> sequencer, restore later"),
     ("kill-client", "kill the last client"),
     ("kill-seq", "kill the sequencer"),
+    ("kill-minority", "kill a strict minority of the replicas"),
 ];
 
 fn palette_actions(name: &str, clients: usize) -> Vec<FaultAction> {
@@ -170,6 +171,22 @@ fn palette_actions(name: &str, clients: usize) -> Vec<FaultAction> {
         ],
         "kill-client" => vec![FaultAction::Kill(NodeId(clients.saturating_sub(1) as u16))],
         "kill-seq" => vec![FaultAction::Kill(home)],
+        // A strict minority of the n_clients+1 replicas, sequencer
+        // first: the largest kill set the quorum family must survive
+        // with every operation still completing.
+        "kill-minority" => {
+            let n_nodes = clients + 1;
+            let minority = (n_nodes - 1) / 2;
+            (0..minority)
+                .map(|i| {
+                    if i == 0 {
+                        FaultAction::Kill(home)
+                    } else {
+                        FaultAction::Kill(NodeId((clients - i) as u16))
+                    }
+                })
+                .collect()
+        }
         _ => Vec::new(),
     }
 }
@@ -246,10 +263,19 @@ fn mutations_under_test() -> Vec<(&'static str, CheckConfig)> {
         kind: MsgKind::Upd,
         nth: 1,
     };
+    let mut lost_commit = CheckConfig::new(ProtocolKind::Quorum, 2, 2, 2);
+    lost_commit.mutation = Mutation::DropKind {
+        kind: MsgKind::QCommit,
+        nth: 1,
+    };
     vec![
         ("write-through-lost-invalidation", lost_inv),
         ("synapse-lost-grant", lost_grant),
         ("dragon-lost-update", lost_update),
+        // A commit that reached a sub-majority of the replicas but was
+        // acknowledged anyway: the quorum analogue of a lost
+        // invalidation, leaving one live replica behind the round.
+        ("quorum-lost-commit", lost_commit),
     ]
 }
 

@@ -245,7 +245,7 @@ mod tests {
 
     #[test]
     fn clean_greedy_run_has_no_violation() {
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             let cfg = CheckConfig::new(kind, 2, 2, 2);
             let mut exec = Exec::new(&cfg);
             drain_greedy(&mut exec);

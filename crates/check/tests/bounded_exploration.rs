@@ -95,3 +95,77 @@ fn seeded_lost_invalidation_is_caught_shrunk_and_replayable() {
         .check_replay()
         .expect("verdict must survive the round trip");
 }
+
+/// Two concurrent quorum writers on one object: the full interleaving
+/// space of two overlapping two-phase majority rounds, including
+/// straggler votes and acks from superseded rounds, must stay coherent
+/// and converge.
+#[test]
+fn exhaustive_concurrent_quorum_writes_are_clean() {
+    let mut cfg = CheckConfig::new(ProtocolKind::Quorum, 2, 1, 1);
+    cfg.max_depth = 40;
+    let report = exhaustive(&cfg, ExploreLimits::default());
+    assert!(
+        !report.capped,
+        "exploration hit a cap: {}",
+        report.summary()
+    );
+    assert!(
+        report.violation.is_none(),
+        "{}",
+        report.violation.unwrap().detail
+    );
+    assert!(report.terminals > 0, "no terminal schedules");
+}
+
+/// The availability contrast, on the deterministic step cluster: kill
+/// the sequencer-position node up front, then run each protocol's
+/// litmus program greedily to termination. Quorum (which has no
+/// sequencer) must complete every operation; each sequencer protocol
+/// must degrade at least one operation to NodeDown. No protocol may
+/// trip any check.
+#[test]
+fn quorum_completes_under_minority_kill_while_sequencers_degrade() {
+    use repmem_check::{Ev, Exec, OpStatus};
+    for kind in ProtocolKind::EVERY {
+        let mut cfg = CheckConfig::new(kind, 2, 2, 2);
+        cfg.faults = vec![FaultAction::Kill(NodeId(2))];
+        let mut exec = Exec::new(&cfg);
+        exec.apply(Ev::Fault(0)).expect("fire the kill");
+        let mut steps = 0;
+        while let Some(&ev) = exec.enabled().first() {
+            let _ = exec.apply(ev);
+            steps += 1;
+            assert!(steps < 10_000, "{kind:?}: did not terminate");
+        }
+        assert!(
+            check(&exec).is_none(),
+            "{kind:?}: {}",
+            check(&exec).unwrap().detail
+        );
+        let done = exec
+            .records()
+            .iter()
+            .filter(|r| r.status == OpStatus::Done)
+            .count();
+        let failed = exec
+            .records()
+            .iter()
+            .filter(|r| matches!(&r.status, OpStatus::Failed(e) if e.contains("not running")))
+            .count();
+        if kind == ProtocolKind::Quorum {
+            assert_eq!(
+                done,
+                exec.records().len(),
+                "{kind:?}: a quorum operation failed with a strict minority dead: {:?}",
+                exec.records()
+            );
+        } else {
+            assert!(
+                failed > 0,
+                "{kind:?}: expected at least one NodeDown degradation: {:?}",
+                exec.records()
+            );
+        }
+    }
+}

@@ -57,6 +57,15 @@ pub enum CopyState {
     /// the paper's diagrams (its serialized analysis never observes it),
     /// but required to serialize concurrent recalls correctly.
     Recalling,
+    /// Quorum transient state: phase 1 of an SC-ABD round — this node
+    /// initiated an operation and is collecting Q-VOTE version replies
+    /// from its peers. The local copy may be stale until the round
+    /// commits, so the state is not readable.
+    Querying,
+    /// Quorum transient state: phase 2 of an SC-ABD round — the
+    /// initiator has the winning version and is collecting Q-ACKs for
+    /// its commit wave.
+    Committing,
 }
 
 impl CopyState {
@@ -70,6 +79,8 @@ impl CopyState {
             CopyState::SharedClean => "SHARED-CLEAN",
             CopyState::SharedDirty => "SHARED-DIRTY",
             CopyState::Recalling => "RECALLING",
+            CopyState::Querying => "QUERYING",
+            CopyState::Committing => "COMMITTING",
         }
     }
 
@@ -77,7 +88,10 @@ impl CopyState {
     /// communication.
     #[inline]
     pub fn readable(self) -> bool {
-        !matches!(self, CopyState::Invalid | CopyState::Recalling)
+        !matches!(
+            self,
+            CopyState::Invalid | CopyState::Recalling | CopyState::Querying | CopyState::Committing
+        )
     }
 }
 
@@ -147,6 +161,18 @@ pub trait Actions {
     /// RETRY; the paper's machines carry the same information as pending
     /// additional parameters in the disabled local queue.
     fn pending_op(&self) -> Option<crate::scenario::OpKind>;
+
+    /// Arm a quorum round: reset the vote counter and require `need`
+    /// further votes before [`Actions::quorum_vote`] reports the
+    /// threshold crossed. Only the quorum family uses this; sequencer
+    /// protocols never call it.
+    fn quorum_arm(&mut self, need: usize);
+
+    /// Count one vote (or ack) toward the armed quorum round. Returns
+    /// `true` exactly when this vote crosses the armed threshold; later
+    /// stragglers return `false`. Hosts that track per-operation tags
+    /// discard votes for superseded rounds before counting.
+    fn quorum_vote(&mut self) -> bool;
 }
 
 impl dyn Actions + '_ {
@@ -188,10 +214,18 @@ pub enum ProtocolKind {
     Dragon,
     /// Firefly: update-based through the fixed sequencer.
     Firefly,
+    /// Sequencer-free majority-quorum protocol (SC-ABD): every read and
+    /// write runs a two-phase majority round (probe for versions, then
+    /// commit the winner), so there is no sequencer node and a minority
+    /// of dead replicas is survivable.
+    Quorum,
 }
 
 impl ProtocolKind {
-    /// All eight protocols, in the paper's comparison order.
+    /// The paper's eight sequencer-based protocols, in the paper's
+    /// comparison order. The quorum family is deliberately outside this
+    /// list: the paper's tables, figures, and region maps are defined
+    /// over exactly these eight.
     pub const ALL: [ProtocolKind; 8] = [
         ProtocolKind::WriteThrough,
         ProtocolKind::WriteThroughV,
@@ -201,6 +235,20 @@ impl ProtocolKind {
         ProtocolKind::Berkeley,
         ProtocolKind::Dragon,
         ProtocolKind::Firefly,
+    ];
+
+    /// Every implemented protocol: the paper's eight plus the
+    /// sequencer-free quorum family.
+    pub const EVERY: [ProtocolKind; 9] = [
+        ProtocolKind::WriteThrough,
+        ProtocolKind::WriteThroughV,
+        ProtocolKind::WriteOnce,
+        ProtocolKind::Synapse,
+        ProtocolKind::Illinois,
+        ProtocolKind::Berkeley,
+        ProtocolKind::Dragon,
+        ProtocolKind::Firefly,
+        ProtocolKind::Quorum,
     ];
 
     /// Human-readable protocol name.
@@ -214,6 +262,7 @@ impl ProtocolKind {
             ProtocolKind::Berkeley => "Berkeley",
             ProtocolKind::Dragon => "Dragon",
             ProtocolKind::Firefly => "Firefly",
+            ProtocolKind::Quorum => "Quorum",
         }
     }
 
@@ -235,7 +284,7 @@ impl std::fmt::Display for ProtocolKind {
 /// A coherence protocol: the pair of client/sequencer Mealy machines for
 /// one copy of one shared object.
 pub trait CoherenceProtocol: Send + Sync {
-    /// Which of the eight protocols this is.
+    /// Which protocol this is.
     fn kind(&self) -> ProtocolKind;
 
     /// Starting state `q0` for the given role (paper §3: INVALID at
@@ -309,6 +358,8 @@ mod tests {
     fn readable_states() {
         assert!(!CopyState::Invalid.readable());
         assert!(!CopyState::Recalling.readable());
+        assert!(!CopyState::Querying.readable());
+        assert!(!CopyState::Committing.readable());
         for s in [
             CopyState::Valid,
             CopyState::Reserved,
@@ -331,9 +382,20 @@ mod tests {
 
     #[test]
     fn only_berkeley_migrates() {
-        for p in ProtocolKind::ALL {
+        for p in ProtocolKind::EVERY {
             let expect = matches!(p, ProtocolKind::Berkeley);
             assert_eq!(p.migrating_sequencer(), expect, "{}", p);
         }
+    }
+
+    #[test]
+    fn every_is_all_plus_quorum() {
+        assert_eq!(ProtocolKind::EVERY.len(), 9);
+        assert_eq!(&ProtocolKind::EVERY[..8], &ProtocolKind::ALL[..]);
+        assert_eq!(ProtocolKind::EVERY[8], ProtocolKind::Quorum);
+        let mut names: Vec<_> = ProtocolKind::EVERY.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9, "protocol names must be distinct");
     }
 }

@@ -127,12 +127,23 @@ pub enum MsgKind {
     /// Write-Once client → sequencer notice that a RESERVED copy is being
     /// written a second time and the sequencer's copy is now stale.
     DirtyNote,
+    /// Quorum phase-1 probe: the initiator asks every peer for its
+    /// current version (SC-ABD "get").
+    QProbe,
+    /// Quorum phase-1 reply: a peer ships its copy (version + data) back
+    /// to the initiator.
+    QVote,
+    /// Quorum phase-2 commit wave: the initiator broadcasts the winning
+    /// write parameters (writes) or the freshest copy (read write-back).
+    QCommit,
+    /// Quorum phase-2 acknowledgement of a commit.
+    QAck,
 }
 
 impl MsgKind {
     /// Every message kind, in wire-code order ([`MsgKind::wire_code`]
     /// indexes into this array).
-    pub const ALL: [MsgKind; 16] = [
+    pub const ALL: [MsgKind; 20] = [
         MsgKind::RReq,
         MsgKind::WReq,
         MsgKind::RPer,
@@ -149,6 +160,10 @@ impl MsgKind {
         MsgKind::Retry,
         MsgKind::Ack,
         MsgKind::DirtyNote,
+        MsgKind::QProbe,
+        MsgKind::QVote,
+        MsgKind::QCommit,
+        MsgKind::QAck,
     ];
 
     /// Stable single-byte code used by wire codecs (`repmem-net`).
@@ -189,6 +204,10 @@ impl MsgKind {
             MsgKind::Retry => "RETRY",
             MsgKind::Ack => "ACK",
             MsgKind::DirtyNote => "DIRTY-NOTE",
+            MsgKind::QProbe => "Q-PROBE",
+            MsgKind::QVote => "Q-VOTE",
+            MsgKind::QCommit => "Q-COMMIT",
+            MsgKind::QAck => "Q-ACK",
         }
     }
 }

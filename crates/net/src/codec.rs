@@ -116,6 +116,8 @@ fn copy_state_code(s: CopyState) -> u8 {
         CopyState::SharedClean => 4,
         CopyState::SharedDirty => 5,
         CopyState::Recalling => 6,
+        CopyState::Querying => 7,
+        CopyState::Committing => 8,
     }
 }
 
@@ -128,6 +130,8 @@ fn copy_state_from_code(code: u8) -> Option<CopyState> {
         4 => CopyState::SharedClean,
         5 => CopyState::SharedDirty,
         6 => CopyState::Recalling,
+        7 => CopyState::Querying,
+        8 => CopyState::Committing,
         _ => return None,
     })
 }

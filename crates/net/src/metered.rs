@@ -26,6 +26,7 @@ const CLASSES: usize = PayloadKind::ALL.len();
 struct LinkMeter {
     msgs: [AtomicU64; CLASSES],
     bytes: [AtomicU64; CLASSES],
+    dropped: [AtomicU64; CLASSES],
 }
 
 /// Plain-number snapshot of one cost class on one link (or aggregate).
@@ -35,6 +36,12 @@ pub struct ClassCounters {
     pub msgs: u64,
     /// Framed wire bytes sent in this class.
     pub bytes: u64,
+    /// Messages the backend refused because the destination endpoint is
+    /// permanently dead (`NetError::Down`) — broadcast legs silently
+    /// skipped under a `RecoveryPolicy`. These were charged by the cost
+    /// model before the send, so `msgs + dropped` reconciles with the
+    /// cluster's message counter even under kills.
+    pub dropped: u64,
 }
 
 /// Snapshot of one directed link, indexed by `PayloadKind::wire_code()`.
@@ -53,6 +60,11 @@ impl LinkSnapshot {
     /// Total framed wire bytes over this link.
     pub fn bytes(&self) -> u64 {
         self.classes.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Total messages dropped on this link (dead destination).
+    pub fn dropped(&self) -> u64 {
+        self.classes.iter().map(|c| c.dropped).sum()
     }
 }
 
@@ -80,6 +92,11 @@ impl MeterStats {
         link.bytes[c].fetch_add(bytes, Ordering::Relaxed);
     }
 
+    fn record_dropped(&self, from: NodeId, to: NodeId, class: PayloadKind) {
+        let link = &self.links[from.idx() * self.n + to.idx()];
+        link.dropped[class.wire_code() as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of nodes this meter covers.
     pub fn n_nodes(&self) -> usize {
         self.n
@@ -93,6 +110,7 @@ impl MeterStats {
             snap.classes[c] = ClassCounters {
                 msgs: link.msgs[c].load(Ordering::Relaxed),
                 bytes: link.bytes[c].load(Ordering::Relaxed),
+                dropped: link.dropped[c].load(Ordering::Relaxed),
             };
         }
         snap
@@ -107,6 +125,7 @@ impl MeterStats {
             for c in 0..CLASSES {
                 snap.classes[c].msgs += link.classes[c].msgs;
                 snap.classes[c].bytes += link.classes[c].bytes;
+                snap.classes[c].dropped += link.classes[c].dropped;
             }
         }
         snap
@@ -121,6 +140,7 @@ impl MeterStats {
             for c in 0..CLASSES {
                 snap.classes[c].msgs += link.classes[c].msgs;
                 snap.classes[c].bytes += link.classes[c].bytes;
+                snap.classes[c].dropped += link.classes[c].dropped;
             }
         }
         snap
@@ -133,6 +153,7 @@ impl MeterStats {
             for c in 0..CLASSES {
                 snap.classes[c].msgs += link.msgs[c].load(Ordering::Relaxed);
                 snap.classes[c].bytes += link.bytes[c].load(Ordering::Relaxed);
+                snap.classes[c].dropped += link.dropped[c].load(Ordering::Relaxed);
             }
         }
         snap
@@ -199,7 +220,16 @@ struct MeteredEndpoint {
 
 impl Endpoint for MeteredEndpoint {
     fn send(&self, to: NodeId, env: &Envelope) -> Result<(), NetError> {
-        self.inner.send(to, env)?;
+        if let Err(e) = self.inner.send(to, env) {
+            // A dead destination is counted as a dropped message (the
+            // cost model charged it before the send); transient refusals
+            // (severed link mid-retry) are not, so retried attempts
+            // never double-count.
+            if to != self.me && matches!(e, NetError::Down(_)) {
+                self.stats.record_dropped(self.me, to, env.msg.payload);
+            }
+            return Err(e);
+        }
         if to != self.me {
             // Computed framed length — no encoding, no allocation.
             // Batching backends coalesce several envelopes under one

@@ -140,6 +140,21 @@ pub fn input_alphabet() -> Vec<InputSym> {
             payload: Token,
             pending: None,
         },
+        InputSym {
+            kind: QProbe,
+            payload: Token,
+            pending: None,
+        },
+        InputSym {
+            kind: QCommit,
+            payload: Params,
+            pending: None,
+        },
+        InputSym {
+            kind: QCommit,
+            payload: Copy,
+            pending: None,
+        },
     ];
     v.push(InputSym {
         kind: Retry,
@@ -151,11 +166,23 @@ pub fn input_alphabet() -> Vec<InputSym> {
         payload: Token,
         pending: Some(OpKind::Write),
     });
+    // Quorum vote/ack handling depends on which operation the initiator
+    // has pending, like RETRY.
+    for kind in [QVote, QAck] {
+        let payload = if kind == QVote { Copy } else { Token };
+        for pending in [OpKind::Read, OpKind::Write] {
+            v.push(InputSym {
+                kind,
+                payload,
+                pending: Some(pending),
+            });
+        }
+    }
     v
 }
 
 /// All copy states, in display order.
-pub const ALL_STATES: [CopyState; 7] = [
+pub const ALL_STATES: [CopyState; 9] = [
     CopyState::Invalid,
     CopyState::Valid,
     CopyState::Reserved,
@@ -163,6 +190,8 @@ pub const ALL_STATES: [CopyState; 7] = [
     CopyState::SharedClean,
     CopyState::SharedDirty,
     CopyState::Recalling,
+    CopyState::Querying,
+    CopyState::Committing,
 ];
 
 /// A host that renders output actions as the paper's routine notation.
@@ -238,6 +267,18 @@ impl Actions for RecordingActions {
     }
     fn pending_op(&self) -> Option<OpKind> {
         self.inner.pending_op()
+    }
+    fn quorum_arm(&mut self, need: usize) {
+        self.log.push(format!("arm({need})"));
+        self.inner.quorum_arm(need);
+    }
+    fn quorum_vote(&mut self) -> bool {
+        // Probing feeds one symbol at a time, so treat every vote as the
+        // threshold-crossing one: the rendered entry shows the full
+        // output routine of the decisive vote.
+        self.inner.quorum_arm(1);
+        self.log.push("vote".into());
+        self.inner.quorum_vote()
     }
 }
 

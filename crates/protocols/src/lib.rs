@@ -26,12 +26,17 @@
 //! | Berkeley | 0 | S+2 | S+2 (owner serves) | N+1 upgrade / S+N+1 acquire, then 0 or N |
 //! | Dragon | 0 | — (never misses) | — | N(P+1) |
 //! | Firefly | 0 | — (never misses) | — | N(P+1)+1 |
+//! | Quorum | N(2S+4) (every read quorums) | — | — | N(S+P+4) |
+//!
+//! [`Quorum`] sits outside the paper's eight: a sequencer-free SC-ABD
+//! majority protocol whose rounds survive a minority of dead replicas.
 
 pub mod berkeley;
 pub mod describe;
 pub mod dragon;
 pub mod firefly;
 pub mod illinois;
+pub mod quorum;
 pub mod synapse;
 pub mod testutil;
 pub mod write_once;
@@ -42,6 +47,7 @@ pub use berkeley::Berkeley;
 pub use dragon::Dragon;
 pub use firefly::Firefly;
 pub use illinois::Illinois;
+pub use quorum::Quorum;
 pub use synapse::Synapse;
 pub use write_once::WriteOnce;
 pub use write_through::WriteThrough;
@@ -60,6 +66,7 @@ pub fn protocol(kind: ProtocolKind) -> &'static dyn CoherenceProtocol {
         ProtocolKind::Berkeley => &Berkeley,
         ProtocolKind::Dragon => &Dragon,
         ProtocolKind::Firefly => &Firefly,
+        ProtocolKind::Quorum => &Quorum,
     }
 }
 
@@ -74,7 +81,7 @@ mod tests {
 
     #[test]
     fn registry_is_consistent() {
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             assert_eq!(protocol(kind).kind(), kind);
         }
         assert_eq!(all_protocols().count(), 8);

@@ -39,6 +39,10 @@ pub struct MockActions {
     pub disables: u32,
     /// Number of `enable_local` calls.
     pub enables: u32,
+    /// Armed quorum threshold, if a round is in flight.
+    pub armed: Option<usize>,
+    /// Votes counted toward the armed round.
+    pub votes: usize,
 }
 
 impl MockActions {
@@ -56,6 +60,8 @@ impl MockActions {
             returns: 0,
             disables: 0,
             enables: 0,
+            armed: None,
+            votes: 0,
         }
     }
 
@@ -135,6 +141,15 @@ impl Actions for MockActions {
     }
     fn pending_op(&self) -> Option<OpKind> {
         self.pending
+    }
+    fn quorum_arm(&mut self, need: usize) {
+        self.armed = Some(need);
+        self.votes = 0;
+    }
+    fn quorum_vote(&mut self) -> bool {
+        let Some(need) = self.armed else { return false };
+        self.votes += 1;
+        self.votes == need
     }
 }
 

@@ -132,11 +132,11 @@ where
 }
 
 fn parse_protocol(name: &str) -> Result<ProtocolKind, String> {
-    ProtocolKind::ALL
+    ProtocolKind::EVERY
         .into_iter()
         .find(|k| k.name().eq_ignore_ascii_case(name))
         .ok_or_else(|| {
-            let names: Vec<_> = ProtocolKind::ALL.iter().map(|k| k.name()).collect();
+            let names: Vec<_> = ProtocolKind::EVERY.iter().map(|k| k.name()).collect();
             format!("unknown protocol {name:?}; one of: {}", names.join(", "))
         })
 }

@@ -407,7 +407,7 @@ mod tests {
 
     #[test]
     fn read_your_writes_everywhere() {
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             let cluster = Cluster::new(sys(), kind);
             for node in [NodeId(0), NodeId(2), sys().home()] {
                 let h = cluster.handle(node);
@@ -421,7 +421,7 @@ mod tests {
 
     #[test]
     fn cross_node_visibility() {
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             let cluster = Cluster::new(sys(), kind);
             let writer = cluster.handle(NodeId(0));
             let reader = cluster.handle(NodeId(3));
@@ -465,7 +465,7 @@ mod tests {
 
     #[test]
     fn replicas_converge_after_shutdown() {
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             let cluster = Cluster::new(sys(), kind);
             let handles: Vec<_> = (0..4).map(|i| cluster.handle(NodeId(i))).collect();
             let threads: Vec<_> = handles

@@ -206,6 +206,15 @@ pub(crate) struct Proc {
     pub state: CopyState,
     pub owner: NodeId,
     pub copy: Payload,
+    /// Quorum round bookkeeping: votes counted, votes needed, and the
+    /// op tag of the armed round — stragglers from a superseded round
+    /// carry an older tag and must not count toward a fresh round.
+    pub votes: usize,
+    pub need: usize,
+    pub round: OpTag,
+    /// Peers whose vote was counted this round, so the shortfall sweep
+    /// can tell which live peers could still contribute a fresh vote.
+    pub voted: Vec<NodeId>,
 }
 
 /// Final state of one replica, reported at node exit.
@@ -262,6 +271,13 @@ pub(crate) struct NodeCtx {
     pending: Vec<Option<PendingApp>>,
     /// Number of occupied `pending` slots.
     in_flight: usize,
+    /// Peers this node has observed as permanently dead (a send failed
+    /// with [`repmem_net::NetError::Down`], or outlived the retry
+    /// budget). Kills are permanent, so the set only grows; it lets the
+    /// node fail *other* blocked operations whose service node is
+    /// already known dead instead of leaving them to hang until the
+    /// shutdown deadline.
+    known_down: std::collections::HashSet<NodeId>,
 }
 
 impl NodeCtx {
@@ -292,6 +308,10 @@ impl NodeCtx {
                     state: proto.initial_state(role),
                     owner: home,
                     copy: Payload::initial(),
+                    votes: 0,
+                    need: 0,
+                    round: OpTag(0),
+                    voted: Vec::new(),
                 }
             })
             .collect();
@@ -310,6 +330,7 @@ impl NodeCtx {
             window: cfg.window.max(1),
             pending: (0..sys.m_objects).map(|_| None).collect(),
             in_flight: 0,
+            known_down: std::collections::HashSet::new(),
         }
     }
 }
@@ -375,6 +396,10 @@ struct NodeHost<'a> {
     /// the step must degrade (fail the pending operation, keep the
     /// protocol state) instead of poisoning the cluster.
     dead_dest: Option<NodeId>,
+    /// Every peer this step's sends found dead (broadcast legs
+    /// included); merged into the node's `known_down` set after the
+    /// step so blocked operations elsewhere can fail fast.
+    down: Vec<NodeId>,
     /// Set when `ret` fires (read completion).
     returned: bool,
     /// Set when `enable_local` fires (blocked-write completion).
@@ -521,6 +546,9 @@ impl Actions for NodeHost<'_> {
                     // to the one peer it needs, that operation must
                     // fail; a broadcast or relayed message to a dead
                     // peer is simply dropped (degraded service).
+                    if !self.down.contains(&r) {
+                        self.down.push(r);
+                    }
                     if single
                         && self.env.msg.initiator == self.me
                         && self.pending.is_some()
@@ -571,6 +599,20 @@ impl Actions for NodeHost<'_> {
     fn pending_op(&self) -> Option<OpKind> {
         self.pending.as_ref().map(|p| p.op)
     }
+    fn quorum_arm(&mut self, need: usize) {
+        self.proc_.need = need;
+        self.proc_.votes = 0;
+        self.proc_.round = self.env.msg.op;
+        self.proc_.voted.clear();
+    }
+    fn quorum_vote(&mut self) -> bool {
+        if self.env.msg.op != self.proc_.round {
+            return false; // straggler from a superseded round
+        }
+        self.proc_.votes += 1;
+        self.proc_.voted.push(self.env.msg.sender);
+        self.proc_.votes == self.proc_.need
+    }
 }
 
 impl NodeCtx {
@@ -604,14 +646,24 @@ impl NodeCtx {
             recovery: self.recovery,
             error: None,
             dead_dest: None,
+            down: Vec::new(),
             returned: false,
             enabled: false,
         };
         let next = proto.step(&mut host, state, &env.msg);
-        let (returned, enabled, error, dead) =
-            (host.returned, host.enabled, host.error, host.dead_dest);
+        let (returned, enabled, error, dead, down) = (
+            host.returned,
+            host.enabled,
+            host.error,
+            host.dead_dest,
+            host.down,
+        );
         if let Some(reason) = error {
             return Err(reason);
+        }
+        let mut newly_down = false;
+        for peer in down {
+            newly_down |= self.known_down.insert(peer);
         }
         if let Some(peer) = dead {
             // Degraded completion: the one peer this step's operation
@@ -623,10 +675,78 @@ impl NodeCtx {
                 self.in_flight -= 1;
                 let _ = p.reply.send(Err(ClusterError::NodeDown(peer)));
             }
+            if newly_down {
+                self.sweep_unreachable();
+            }
             return Ok((false, false));
         }
         self.procs[idx].state = next;
+        if newly_down {
+            self.sweep_unreachable();
+        }
         Ok((returned, enabled))
+    }
+
+    /// Fail every in-flight operation whose service node is already
+    /// known dead, instead of leaving it to wait out the shutdown
+    /// deadline. For sequencer protocols the service node is the owner
+    /// register (migrating sequencer) or the object's home shard;
+    /// quorum operations fail only once the votes already counted plus
+    /// the live peers that have not voted yet can no longer reach a
+    /// majority — a conservative test that never fails a round that
+    /// could still commit (counted votes stay counted, and every
+    /// unanswered live peer is presumed to vote).
+    fn sweep_unreachable(&mut self) {
+        if self.known_down.is_empty() {
+            return;
+        }
+        let quorum = self.kind == ProtocolKind::Quorum;
+        let migrating = self.kind.migrating_sequencer();
+        for idx in 0..self.procs.len() {
+            if self.pending[idx].is_none() {
+                continue;
+            }
+            let dead_peer = if quorum {
+                let p = &self.procs[idx];
+                // Peers that could still contribute a fresh vote: alive
+                // and not already counted this round.
+                let potential = (0..self.sys.n_nodes() as u16)
+                    .map(NodeId)
+                    .filter(|&n| {
+                        n != self.me && !self.known_down.contains(&n) && !p.voted.contains(&n)
+                    })
+                    .count();
+                let shortfall = matches!(p.state, CopyState::Querying | CopyState::Committing)
+                    && p.votes + potential < p.need;
+                if shortfall {
+                    self.known_down.iter().min().copied()
+                } else {
+                    None
+                }
+            } else {
+                let service = if migrating {
+                    self.procs[idx].owner
+                } else {
+                    self.shards.home_of(ObjectId(idx as u32))
+                };
+                (service != self.me && self.known_down.contains(&service)).then_some(service)
+            };
+            let Some(peer) = dead_peer else {
+                continue;
+            };
+            if quorum {
+                // Abort the round: the object returns to VALID with the
+                // (unchanged) local copy, ready for later operations.
+                self.procs[idx].state = CopyState::Valid;
+                self.procs[idx].votes = 0;
+                self.procs[idx].need = 0;
+                self.procs[idx].voted.clear();
+            }
+            if let Some(p) = self.pending[idx].take() {
+                self.in_flight -= 1;
+                let _ = p.reply.send(Err(ClusterError::NodeDown(peer)));
+            }
+        }
     }
 
     pub(crate) fn handle_env(&mut self, env: Envelope) -> Result<(), String> {

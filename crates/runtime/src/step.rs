@@ -343,7 +343,7 @@ mod tests {
 
     #[test]
     fn write_then_read_completes_for_every_protocol() {
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             let mut c = StepCluster::new(sys(), kind).unwrap();
             c.issue(
                 NodeId(0),

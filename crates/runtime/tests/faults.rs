@@ -149,7 +149,7 @@ fn blackout(schedule: FaultSchedule, at: u64, sys: &SystemParams) -> FaultSchedu
 fn sever_then_restore_is_invisible_in_the_final_state() {
     let sys = sys();
     let ops = workload(&sys, 20);
-    for kind in ProtocolKind::ALL {
+    for kind in ProtocolKind::EVERY {
         let base = run(kind, FaultSchedule::new(), &ops);
         // Two blackout windows, placed by fractions of the fault-free
         // run's send count so they land mid-workload for any protocol.
@@ -177,7 +177,7 @@ fn sever_then_restore_is_invisible_in_the_final_state() {
 #[test]
 fn killing_one_passive_client_never_wedges_the_cluster() {
     let sys = sys();
-    for kind in ProtocolKind::ALL {
+    for kind in ProtocolKind::EVERY {
         let transport =
             FaultTransport::new(InProcTransport::new(sys.n_nodes()), FaultSchedule::new());
         let faults = transport.handle();
@@ -259,5 +259,51 @@ fn killing_the_sequencer_degrades_per_operation_not_cluster_wide() {
         cluster
             .shutdown_within(DEFAULT_STOP_DEADLINE)
             .unwrap_or_else(|e| panic!("{kind:?}: shutdown with a dead sequencer: {e}"));
+    }
+}
+
+#[test]
+fn dropped_broadcasts_surface_in_the_meter() {
+    let sys = sys();
+    // One write-through (sequencer broadcast) and one quorum
+    // (initiator broadcast) representative: both keep sending to the
+    // dead bystander, and every skipped leg must show up in the meter.
+    for kind in [ProtocolKind::WriteThrough, ProtocolKind::Quorum] {
+        let fault = FaultTransport::new(InProcTransport::new(sys.n_nodes()), FaultSchedule::new());
+        let faults = fault.handle();
+        let transport = repmem_net::MeteredTransport::new(fault);
+        let meter = transport.stats();
+        let cluster =
+            Cluster::with_recovery(sys, kind, ShardConfig::default(), transport, retry_policy())
+                .expect("cluster");
+        faults.kill(NodeId(1));
+        let h0 = cluster.handle(NodeId(0));
+        for round in 0..6u64 {
+            let obj = ObjectId((round % 3) as u32);
+            h0.write(obj, Bytes::from(round.to_le_bytes().to_vec()))
+                .unwrap_or_else(|e| panic!("{kind:?}: write with a dead bystander: {e}"));
+        }
+        settle(&cluster, &faults);
+        let total = meter.total();
+        assert!(
+            total.dropped() > 0,
+            "{kind:?}: no dropped broadcast was counted"
+        );
+        // The cost model charges each logical message before its send,
+        // so delivered + dropped must cover every charged message.
+        assert_eq!(
+            total.msgs() + total.dropped(),
+            cluster.total_messages(),
+            "{kind:?}: meter does not reconcile with the charged messages"
+        );
+        // Every drop points at the dead node.
+        assert_eq!(
+            meter.to_node(NodeId(1)).dropped(),
+            total.dropped(),
+            "{kind:?}: drops charged to a live link"
+        );
+        cluster
+            .shutdown_within(DEFAULT_STOP_DEADLINE)
+            .unwrap_or_else(|e| panic!("{kind:?}: shutdown with a dead bystander: {e}"));
     }
 }

@@ -77,6 +77,12 @@ struct Process {
     enabled: bool,
     local_q: VecDeque<Envelope>,
     copy: ObjectData,
+    /// Quorum round bookkeeping: votes counted, votes needed, and the
+    /// op tag of the armed round (stragglers from a superseded round
+    /// carry an older tag and must not count).
+    votes: usize,
+    need: usize,
+    round: OpTag,
 }
 
 /// An application operation in flight.
@@ -130,6 +136,9 @@ struct SimHost<'a> {
     proc_owner: &'a mut NodeId,
     proc_enabled: &'a mut bool,
     proc_copy: &'a mut ObjectData,
+    proc_votes: &'a mut usize,
+    proc_need: &'a mut usize,
+    proc_round: &'a mut OpTag,
     core: &'a mut Core,
     env: &'a Envelope,
 }
@@ -244,6 +253,18 @@ impl Actions for SimHost<'_> {
     fn pending_op(&self) -> Option<OpKind> {
         self.core.pending[self.me.idx()].map(|p| p.op)
     }
+    fn quorum_arm(&mut self, need: usize) {
+        *self.proc_need = need;
+        *self.proc_votes = 0;
+        *self.proc_round = self.env.msg.op;
+    }
+    fn quorum_vote(&mut self) -> bool {
+        if self.env.msg.op != *self.proc_round {
+            return false; // straggler from a superseded round
+        }
+        *self.proc_votes += 1;
+        *self.proc_votes == *self.proc_need
+    }
 }
 
 /// The simulator.
@@ -281,6 +302,9 @@ impl Sim {
                         value: 0,
                         version: 0,
                     },
+                    votes: 0,
+                    need: 0,
+                    round: OpTag(0),
                 });
             }
         }
@@ -320,6 +344,9 @@ impl Sim {
             proc_owner: &mut proc.owner,
             proc_enabled: &mut proc.enabled,
             proc_copy: &mut proc.copy,
+            proc_votes: &mut proc.votes,
+            proc_need: &mut proc.need,
+            proc_round: &mut proc.round,
             core: &mut self.core,
             env: &env,
         };
@@ -665,7 +692,7 @@ mod tests {
     #[test]
     fn serialized_matches_analytic_for_all_protocols() {
         let scenario = Scenario::read_disturbance(0.3, 0.15, 2).unwrap();
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             let cfg = table7_cfg(kind, IssueMode::Serialized, 23);
             let report = simulate(&cfg, &scenario);
             let analytic =
@@ -753,7 +780,7 @@ mod tests {
 
     #[test]
     fn replay_app_traces_stays_coherent() {
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             let trace = repmem_workload::apps::grid_relaxation(3, 2, 5);
             let cfg = SimConfig {
                 sys: SystemParams {
@@ -805,7 +832,7 @@ mod tests {
             m_objects: 3,
         };
         let scenario = Scenario::multiple_centers(0.5, 4).unwrap();
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::EVERY {
             for seed in [1u64, 99, 12345] {
                 let cfg = SimConfig {
                     sys,
