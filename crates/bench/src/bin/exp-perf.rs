@@ -23,7 +23,6 @@ use repmem_core::{NodeId, ObjectId, ProtocolKind, SystemParams};
 use repmem_net::{InProcTransport, TcpTransport};
 use repmem_runtime::{Cluster, ShardConfig, Ticket};
 use std::collections::VecDeque;
-use std::path::PathBuf;
 use std::time::Instant;
 
 const M_OBJECTS: usize = 16;
@@ -210,19 +209,18 @@ fn main() {
     println!("  batched   (K=2, W=8, batched TCP) vs tcp (blocking TCP): {batch_x:.2}x");
 
     if json {
-        let mut out = String::from("{\n");
-        out.push_str(&format!(
-            "  \"config\": {{\"n_clients\": {}, \"s\": {}, \"p\": {}, \"m_objects\": {}, \"ops\": {ops}, \"reps\": {reps}}},\n",
+        let config = format!(
+            "{{\"n_clients\": {}, \"s\": {}, \"p\": {}, \"m_objects\": {}, \"ops\": {ops}, \"reps\": {reps}}}",
             sys.n_clients, sys.s, sys.p, sys.m_objects
-        ));
-        out.push_str("  \"variants\": {\n");
+        );
+        let mut variants = String::from("{\n");
         for (i, v) in VARIANTS.iter().enumerate() {
             let wire = match v.wire {
                 Wire::InProc => "inproc",
                 Wire::Tcp { batch: false } => "tcp",
                 Wire::Tcp { batch: true } => "tcp+batch",
             };
-            out.push_str(&format!(
+            variants.push_str(&format!(
                 "    \"{}\": {{\"shards\": {}, \"window\": {}, \"wire\": \"{wire}\"}}{}\n",
                 v.name,
                 v.cfg.shards,
@@ -230,29 +228,38 @@ fn main() {
                 if i + 1 < VARIANTS.len() { "," } else { "" }
             ));
         }
-        out.push_str("  },\n  \"ops_per_sec\": {\n");
+        variants.push_str("  }");
+        let mut grid = String::from("{\n");
         for (r, (kind, cells)) in rows.iter().enumerate() {
-            out.push_str(&format!("    \"{}\": {{", kind.name()));
+            grid.push_str(&format!("    \"{}\": {{", kind.name()));
             for (i, (v, rate)) in VARIANTS.iter().zip(cells).enumerate() {
-                out.push_str(&format!(
+                grid.push_str(&format!(
                     "\"{}\": {:.1}{}",
                     v.name,
                     rate,
                     if i + 1 < VARIANTS.len() { ", " } else { "" }
                 ));
             }
-            out.push_str(&format!(
+            grid.push_str(&format!(
                 "}}{}\n",
                 if r + 1 < rows.len() { "," } else { "" }
             ));
         }
-        out.push_str("  },\n");
-        out.push_str(&format!(
-            "  \"geomean_speedup\": {{\"pipelined_vs_baseline\": {pipe_x:.2}, \"batched_vs_tcp\": {batch_x:.2}}}\n"
-        ));
-        out.push_str("}\n");
-        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
-        std::fs::write(&path, out).expect("write BENCH_runtime.json");
+        grid.push_str("  }");
+        let speedup =
+            format!("{{\"pipelined_vs_baseline\": {pipe_x:.2}, \"batched_vs_tcp\": {batch_x:.2}}}");
+        // Upsert rather than rewrite: exp-ycsb owns the "ycsb" section
+        // of the same scoreboard.
+        let path = repmem_bench::bench_json_path();
+        repmem_bench::upsert_bench_sections(
+            &path,
+            &[
+                ("config", config),
+                ("variants", variants),
+                ("ops_per_sec", grid),
+                ("geomean_speedup", speedup),
+            ],
+        );
         println!("\nwrote {}", path.display());
     }
 }

@@ -55,6 +55,105 @@ pub fn write_text(name: &str, contents: &str) -> PathBuf {
     path
 }
 
+/// The workspace `BENCH_runtime.json` scoreboard.
+pub fn bench_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json")
+}
+
+/// Split the body of a flat JSON object (`{ "k": v, ... }`) into
+/// `(key, raw value)` pairs, values kept verbatim. Only the *top* level
+/// is parsed — values may be arbitrarily nested objects/arrays. Used so
+/// independent bench binaries can each own a section of
+/// `BENCH_runtime.json` without a JSON dependency.
+pub fn split_sections(text: &str) -> Vec<(String, String)> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .unwrap_or("");
+    let mut sections = Vec::new();
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Find the opening quote of the next key.
+        match body[i..].find('"') {
+            Some(off) => i += off,
+            None => break,
+        }
+        let key_start = i + 1;
+        let mut j = key_start;
+        while j < bytes.len() && bytes[j] != b'"' {
+            if bytes[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        let key = body[key_start..j.min(bytes.len())].to_string();
+        // Skip to the value after the colon.
+        let mut k = j + 1;
+        while k < bytes.len() && (bytes[k] as char).is_whitespace() {
+            k += 1;
+        }
+        if k >= bytes.len() || bytes[k] != b':' {
+            break;
+        }
+        k += 1;
+        while k < bytes.len() && (bytes[k] as char).is_whitespace() {
+            k += 1;
+        }
+        // Scan the value: strings are opaque, brackets/braces nest, a
+        // top-level comma terminates.
+        let val_start = k;
+        let (mut depth, mut in_str, mut escape) = (0i32, false, false);
+        while k < bytes.len() {
+            let c = bytes[k];
+            if in_str {
+                if escape {
+                    escape = false;
+                } else if c == b'\\' {
+                    escape = true;
+                } else if c == b'"' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    b'"' => in_str = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => depth -= 1,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        sections.push((key, body[val_start..k].trim().to_string()));
+        i = k + 1;
+    }
+    sections
+}
+
+/// Read `path` (tolerating a missing file), replace-or-append each
+/// `(key, raw JSON value)` section, and rewrite the whole file. Sections
+/// owned by other binaries survive untouched, so `exp-perf --json` and
+/// `exp-ycsb --json` can update the scoreboard independently.
+pub fn upsert_bench_sections(path: &std::path::Path, updates: &[(&str, String)]) {
+    let old = fs::read_to_string(path).unwrap_or_default();
+    let mut sections = split_sections(&old);
+    for (key, value) in updates {
+        match sections.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value.clone(),
+            None => sections.push((key.to_string(), value.clone())),
+        }
+    }
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in sections.iter().enumerate() {
+        out.push_str(&format!("  \"{key}\": {value}"));
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    fs::write(path, out).expect("write bench json");
+}
+
 /// Inclusive linspace of `n` points over `[lo, hi]`.
 pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2);
@@ -140,6 +239,45 @@ mod tests {
     fn heatmap_handles_all_zero_fields() {
         let map = ascii_heatmap("z", &["r".into()], &[vec![0.0, 0.0]]);
         assert!(map.lines().nth(1).unwrap().ends_with("|  "));
+    }
+
+    #[test]
+    fn split_sections_handles_nesting_and_strings() {
+        let text = r#"{
+  "config": {"n": 4, "name": "a,b}"},
+  "grid": {"x": {"y": [1, 2, {"z": 3}]}},
+  "scalar": 1.25
+}"#;
+        let sections = split_sections(text);
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].0, "config");
+        assert_eq!(sections[0].1, r#"{"n": 4, "name": "a,b}"}"#);
+        assert_eq!(sections[1].0, "grid");
+        assert_eq!(sections[1].1, r#"{"x": {"y": [1, 2, {"z": 3}]}}"#);
+        assert_eq!(sections[2], ("scalar".into(), "1.25".into()));
+        assert!(split_sections("").is_empty());
+        assert!(split_sections("{}").is_empty());
+    }
+
+    #[test]
+    fn upsert_replaces_and_appends_sections() {
+        let path = std::env::temp_dir().join(format!("repmem-upsert-{}.json", std::process::id()));
+        let _ = fs::remove_file(&path);
+        // Fresh file: both sections appended.
+        upsert_bench_sections(&path, &[("a", "{\"x\": 1}".into()), ("b", "2".into())]);
+        // Replace one, keep the other, add a third.
+        upsert_bench_sections(&path, &[("a", "{\"x\": 9}".into()), ("c", "[1, 2]".into())]);
+        let text = fs::read_to_string(&path).unwrap();
+        let sections = split_sections(&text);
+        assert_eq!(
+            sections,
+            vec![
+                ("a".into(), "{\"x\": 9}".into()),
+                ("b".into(), "2".into()),
+                ("c".into(), "[1, 2]".into()),
+            ]
+        );
+        fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The replicated KV server as an OS process.
+//!
+//! ```text
+//! repmem-kv --protocol Berkeley --n-clients 4 --slots 65536 \
+//!           --shards 2 --window 8 --listen 127.0.0.1:7070
+//! ```
+//!
+//! Hosts the full `N + K` DSM cluster in-process and serves the KV
+//! request protocol on `--listen` (printing `KV LISTEN <addr>` once
+//! bound, so scripts can grab an ephemeral port). Runs until a client
+//! sends `Shutdown`; then shuts the cluster down and prints the final
+//! operation/cost counters.
+
+use repmem_core::{ProtocolKind, SystemParams};
+use repmem_kv::{KvServer, KvServerConfig};
+use repmem_runtime::ShardConfig;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("repmem-kv: {e}");
+        std::process::exit(1);
+    }
+}
+
+const HELP: &str = "\
+repmem-kv: the replicated KV service over the DSM runtime
+
+USAGE:
+    repmem-kv --protocol NAME [--n-clients N] [--slots M] [--s S] [--p P]
+              [--shards K] [--window W] [--key-seed SEED] [--listen ADDR]
+
+Protocol names are the paper's (case-insensitive) plus Quorum, e.g.
+Write-Through, Write-Once, Synapse, Illinois, Berkeley, Dragon,
+Firefly, Quorum. --slots is the object-slot count keys hash onto
+(default 65536); every client of a deployment must use the server's
+--key-seed (default 42) for keys to route identically. Defaults:
+--n-clients 4, --s 64, --p 16, --shards 2, --window 8,
+--listen 127.0.0.1:0.
+";
+
+fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse()
+        .map_err(|e| format!("invalid value {v:?} for {flag}: {e}"))
+}
+
+fn parse_protocol(name: &str) -> Result<ProtocolKind, String> {
+    ProtocolKind::EVERY
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<_> = ProtocolKind::EVERY.iter().map(|k| k.name()).collect();
+            format!("unknown protocol {name:?}; one of: {}", names.join(", "))
+        })
+}
+
+fn run() -> Result<(), String> {
+    let mut kind: Option<ProtocolKind> = None;
+    let mut n_clients = 4usize;
+    let mut s = 64u64;
+    let mut p = 16u64;
+    let mut slots = 65536usize;
+    let mut shards = 2usize;
+    let mut window = 8usize;
+    let mut key_seed = 42u64;
+    let mut listen = String::from("127.0.0.1:0");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--protocol" => kind = Some(parse_protocol(&value("--protocol")?)?),
+            "--n-clients" => n_clients = parse(&value("--n-clients")?, "--n-clients")?,
+            "--s" => s = parse(&value("--s")?, "--s")?,
+            "--p" => p = parse(&value("--p")?, "--p")?,
+            "--slots" => slots = parse(&value("--slots")?, "--slots")?,
+            "--shards" => shards = parse(&value("--shards")?, "--shards")?,
+            "--window" => window = parse(&value("--window")?, "--window")?,
+            "--key-seed" => key_seed = parse(&value("--key-seed")?, "--key-seed")?,
+            "--listen" => listen = value("--listen")?,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    let kind = kind.ok_or("--protocol is required")?;
+    let config = KvServerConfig {
+        sys: SystemParams {
+            n_clients,
+            s,
+            p,
+            m_objects: slots,
+        },
+        kind,
+        cfg: ShardConfig { shards, window },
+        key_seed,
+    };
+    let mut server = KvServer::start(config, &listen).map_err(|e| e.to_string())?;
+    println!("KV LISTEN {}", server.addr());
+    println!(
+        "repmem-kv: {} | N={n_clients} K={shards} W={window} slots={slots} key-seed={key_seed}",
+        kind.name()
+    );
+    server.wait_for_shutdown();
+    let ops = server.ops_served();
+    let dump = server.shutdown().map_err(|e| e.to_string())?;
+    println!(
+        "repmem-kv: served {ops} ops, final replica set coherent: {}",
+        dump.is_coherent()
+    );
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! YCSB load generator for a running `repmem-kv` server.
+//!
+//! ```text
+//! repmem-ycsb --addr 127.0.0.1:7070 --workload A --records 2000 --ops 10000
+//! ```
+//!
+//! Runs the YCSB load phase (unless `--no-load`) and one run phase over
+//! a single connection, then prints throughput, latency percentiles and
+//! the op-identity checksum (equal specs against equal clusters print
+//! equal checksums — compare an in-proc and a TCP run to check the wire
+//! path end to end). `--shutdown` stops the server afterwards.
+
+use repmem_kv::{driver, KvClient};
+use repmem_workload::ycsb::{YcsbSpec, YcsbWorkload};
+use std::time::Instant;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("repmem-ycsb: {e}");
+        std::process::exit(1);
+    }
+}
+
+const HELP: &str = "\
+repmem-ycsb: YCSB A/B/C/D/F load generator for repmem-kv
+
+USAGE:
+    repmem-ycsb --addr HOST:PORT [--workload A|B|C|D|F] [--records R]
+                [--ops O] [--theta T] [--value-len B] [--seed S]
+                [--no-load] [--shutdown]
+
+Defaults: workload A, 2000 records, 10000 ops, theta 0.99, 100-byte
+values, seed 42. --no-load skips the insert phase (records already
+loaded); --shutdown asks the server to stop after the run.
+";
+
+fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse()
+        .map_err(|e| format!("invalid value {v:?} for {flag}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut workload = YcsbWorkload::A;
+    let mut records = 2000u64;
+    let mut ops = 10_000u64;
+    let mut theta = 0.99f64;
+    let mut value_len = 100usize;
+    let mut seed = 42u64;
+    let mut do_load = true;
+    let mut do_shutdown = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--workload" => {
+                let name = value("--workload")?;
+                workload = YcsbWorkload::from_name(&name)
+                    .ok_or_else(|| format!("unknown workload {name:?} (A, B, C, D or F)"))?;
+            }
+            "--records" => records = parse(&value("--records")?, "--records")?,
+            "--ops" => ops = parse(&value("--ops")?, "--ops")?,
+            "--theta" => theta = parse(&value("--theta")?, "--theta")?,
+            "--value-len" => value_len = parse(&value("--value-len")?, "--value-len")?,
+            "--seed" => seed = parse(&value("--seed")?, "--seed")?,
+            "--no-load" => do_load = false,
+            "--shutdown" => do_shutdown = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    let spec = YcsbSpec::new(workload, records, ops, seed)
+        .with_theta(theta)
+        .with_value_len(value_len);
+
+    let mut client = KvClient::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    if do_load {
+        let start = Instant::now();
+        driver::load(&mut client, &spec).map_err(|e| format!("load phase: {e}"))?;
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "load: {records} records in {secs:.2} s ({:.0} inserts/s)",
+            records as f64 / secs
+        );
+    }
+    let start = Instant::now();
+    let mut report = driver::run(&mut client, &spec).map_err(|e| format!("run phase: {e}"))?;
+    let secs = start.elapsed().as_secs_f64();
+    let (p50, p99) = repmem_kv::latency_percentiles_us(&mut report.latencies);
+    println!(
+        "run[{}]: {} ops in {secs:.2} s ({:.0} ops/s), p50 {p50:.0} us, p99 {p99:.0} us",
+        workload.name(),
+        report.ops,
+        report.ops as f64 / secs
+    );
+    println!(
+        "  reads {} (found {}), writes {}, rmws {}, checksum {:016x}",
+        report.reads, report.found, report.writes, report.rmws, report.checksum
+    );
+    if let Ok((srv_ops, cost, messages)) = client.stats() {
+        println!("  server: {srv_ops} ops served, cost {cost} units, {messages} messages");
+    }
+    if do_shutdown {
+        client
+            .shutdown_server()
+            .map_err(|e| format!("shutdown: {e}"))?;
+        println!("server shutdown requested");
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # repmem-kv
+//!
+//! A replicated key-value service on top of the DSM runtime: the
+//! "millions of users" datastore surface over the paper's coherence
+//! protocols.
+//!
+//! * [`keyspace`] — seeded hashing of string keys onto the finite
+//!   `ObjectId` space, with the documented collision policy.
+//! * [`store`] — [`KvStore`]: `get`/`put`/`scan` over one node's
+//!   pipelined [`repmem_runtime::Handle`], against any protocol and any
+//!   [`repmem_runtime::ShardConfig`].
+//! * [`wire`] — the length-prefixed KV request protocol for external
+//!   load generators (strict decoding, `repmem-net` codec conventions).
+//! * [`server`] — [`KvServer`]: an in-process cluster fronted by a TCP
+//!   accept loop, one connection per thread, connections assigned to
+//!   client nodes round-robin.
+//! * [`client`] — [`KvClient`] and the [`KvBackend`] trait unifying
+//!   in-proc and remote access for the driver.
+//! * [`driver`] — YCSB load/run execution with latency capture and the
+//!   op-identity checksum.
+//!
+//! Binaries: `repmem-kv` (the server), `repmem-ycsb` (a TCP load
+//! generator running the YCSB A/B/C/D/F workloads from
+//! `repmem-workload`).
+//!
+//! ```no_run
+//! use repmem_core::{NodeId, ProtocolKind, SystemParams};
+//! use repmem_kv::{KeySpace, KvStore};
+//! use repmem_runtime::Cluster;
+//!
+//! let sys = SystemParams { n_clients: 2, s: 64, p: 16, m_objects: 1 << 16 };
+//! let cluster = Cluster::new(sys, ProtocolKind::Berkeley);
+//! let store = KvStore::new(cluster.handle(NodeId(0)), KeySpace::new(1 << 16, 42));
+//! store.put("user000000000001", b"profile").unwrap();
+//! assert_eq!(&store.get("user000000000001").unwrap().unwrap()[..], b"profile");
+//! assert_eq!(store.get("user000000000002").unwrap(), None);
+//! cluster.shutdown().unwrap();
+//! ```
+
+pub mod client;
+pub mod driver;
+pub mod keyspace;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use client::{KvBackend, KvClient, KvError};
+pub use driver::{latency_percentiles_us, WorkloadReport};
+pub use keyspace::KeySpace;
+pub use server::{KvServer, KvServerConfig};
+pub use store::KvStore;
+pub use wire::{KvFrame, WireError, KV_WIRE_VERSION};

@@ -1,0 +1,57 @@
+//! Key-distribution test for the KV → shard pipeline.
+//!
+//! YCSB keys (`user000000000042`, …) are deliberately low-entropy: they
+//! differ in a few decimal digits at the tail. This hashes a large batch
+//! of them through [`KeySpace`] and [`ShardConfig::home_of`] and asserts
+//! every sequencer shard receives a near-even share — the guard against
+//! the KV hash and the Fibonacci shard hash composing degenerately on
+//! structured keys.
+
+use repmem_core::SystemParams;
+use repmem_kv::KeySpace;
+use repmem_runtime::ShardConfig;
+use repmem_workload::ycsb::YcsbSpec;
+
+#[test]
+fn ycsb_keys_spread_evenly_across_shards() {
+    let shards = 4usize;
+    let sys = SystemParams {
+        n_clients: 4,
+        s: 64,
+        p: 16,
+        m_objects: 1 << 16,
+    };
+    let cfg = ShardConfig::new(shards);
+    let space = KeySpace::new(1 << 16, 42);
+    let keys = 20_000u64;
+
+    let mut per_shard = vec![0u64; shards];
+    for i in 0..keys {
+        let key = YcsbSpec::key(i);
+        let home = cfg.home_of(&sys, space.object_of(&key));
+        // Sequencer shards occupy node ids N..N+K.
+        let idx = home.0 as usize - sys.n_clients;
+        per_shard[idx] += 1;
+    }
+
+    let mean = keys as f64 / shards as f64;
+    for (idx, &count) in per_shard.iter().enumerate() {
+        assert!(
+            (count as f64) > mean * 0.75 && (count as f64) < mean * 1.25,
+            "shard {idx} got {count} of {keys} keys (mean {mean:.0}): {per_shard:?}"
+        );
+    }
+}
+
+#[test]
+fn distinct_key_seeds_give_distinct_routings() {
+    let a = KeySpace::new(1 << 16, 1);
+    let b = KeySpace::new(1 << 16, 2);
+    let moved = (0..1000)
+        .filter(|&i| {
+            let key = YcsbSpec::key(i);
+            a.object_of(&key) != b.object_of(&key)
+        })
+        .count();
+    assert!(moved > 950, "only {moved}/1000 keys moved between seeds");
+}

@@ -390,6 +390,10 @@ struct NodeHost<'a> {
     messages: &'a AtomicU64,
     clock: &'a VersionClock,
     recovery: RecoveryPolicy,
+    /// Peers the node already observed as permanently dead before this
+    /// step (`NodeCtx::known_down`); sends to them skip the retry
+    /// budget and fail as `Down` after one attempt.
+    known_down: &'a std::collections::HashSet<NodeId>,
     /// First unrecoverable condition hit during this step, if any.
     error: Option<String>,
     /// A peer this step could not reach even after its recovery budget:
@@ -448,6 +452,16 @@ impl NodeHost<'_> {
     /// is a genuine `Endpoint::send` attempt, so scripted fault
     /// schedules keyed on send counts keep advancing while a severed
     /// link waits for its restore.
+    ///
+    /// A destination already in the node's `known_down` set gets one
+    /// attempt but no retry budget: some earlier send to it already
+    /// outlived a whole deadline (or failed permanently), and kills are
+    /// permanent, so a second deadline cannot change the outcome. The
+    /// transient failure is promoted to `Down` so the caller degrades
+    /// immediately — this is what makes a multi-object `scan` touching
+    /// a dead shard fail fast instead of paying the deadline per key.
+    /// With a zero retry deadline (the fault-free default, and the
+    /// step-driven checker) the path is unchanged.
     fn send_with_recovery(&self, to: NodeId, env: &Envelope) -> Result<(), repmem_net::NetError> {
         use repmem_net::NetError;
         let mut last = match self.endpoint.send(to, env) {
@@ -457,6 +471,9 @@ impl NodeHost<'_> {
         };
         if self.recovery.retry_deadline.is_zero() {
             return Err(last);
+        }
+        if self.known_down.contains(&to) {
+            return Err(NetError::Down(to));
         }
         let deadline = Instant::now() + self.recovery.retry_deadline;
         let mut wait = self.recovery.base.max(Duration::from_micros(50));
@@ -644,6 +661,7 @@ impl NodeCtx {
             messages: &self.messages,
             clock: &self.clock,
             recovery: self.recovery,
+            known_down: &self.known_down,
             error: None,
             dead_dest: None,
             down: Vec::new(),

@@ -65,6 +65,14 @@ impl ShardConfig {
         sys.n_clients + self.shards
     }
 
+    /// The sequencer shard serving `object` under this configuration —
+    /// the same routing every node of the cluster uses. Exposed so
+    /// higher layers (the KV keyspace, placement-balance tests) can
+    /// reason about which shard a given object lands on.
+    pub fn home_of(&self, sys: &SystemParams, object: ObjectId) -> NodeId {
+        self.map(sys).home_of(object)
+    }
+
     /// The routing map for this configuration.
     pub(crate) fn map(&self, sys: &SystemParams) -> ShardMap {
         ShardMap {

@@ -14,8 +14,17 @@
 //! paper's introduction motivates (grid relaxation, producer/consumer,
 //! a work queue); they exercise the same DSM code paths with non-i.i.d.,
 //! phase-structured access patterns.
+//!
+//! [`zipf`] and [`ycsb`] add the service-shaped axis: a seeded zipfian
+//! key-popularity generator and the YCSB core workloads A/B/C/D/F over
+//! string keys, consumed by the `repmem-kv` replicated KV service.
 
 pub mod apps;
+pub mod ycsb;
+pub mod zipf;
+
+pub use ycsb::{KvOp, YcsbSpec, YcsbWorkload};
+pub use zipf::{SplitMix64, Zipfian};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,360 @@
+//! YCSB core-workload generator (A/B/C/D/F) over the seeded zipfian
+//! popularity model in [`crate::zipf`].
+//!
+//! Emits the standard mixes of the YCSB core package as a deterministic,
+//! seeded operation stream of [`KvOp`]s against string keys
+//! (`user<12-digit-index>` — deliberately low-entropy, so the KV layer's
+//! key hashing is exercised on realistic input):
+//!
+//! | workload | mix | key popularity |
+//! |---|---|---|
+//! | A (update-heavy) | 50% read / 50% update | scrambled zipfian |
+//! | B (read-mostly)  | 95% read / 5% update  | scrambled zipfian |
+//! | C (read-only)    | 100% read             | scrambled zipfian |
+//! | D (read-latest)  | 95% read / 5% insert  | latest |
+//! | F (read-modify-write) | 50% read / 50% RMW | scrambled zipfian |
+//!
+//! Workload E (scans) is omitted: the KV scan is a multi-get over a key
+//! *set*, not an ordered range, so E's range semantics do not apply.
+//!
+//! The D "latest" distribution is approximated as a zipfian *offset
+//! from the newest record* with `n` fixed at the initial record count
+//! (YCSB resizes the zipfian as records are inserted; with the ≤5%
+//! insert fraction of one run the popularity error is negligible and
+//! the stream stays a pure function of the seed).
+
+use crate::zipf::{mix64, SplitMix64, Zipfian};
+
+/// The YCSB core workloads reproduced here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbWorkload {
+    /// 50% read / 50% update, zipfian.
+    A,
+    /// 95% read / 5% update, zipfian.
+    B,
+    /// 100% read, zipfian.
+    C,
+    /// 95% read / 5% insert, latest-skewed reads.
+    D,
+    /// 50% read / 50% read-modify-write, zipfian.
+    F,
+}
+
+impl YcsbWorkload {
+    /// Every workload, in letter order.
+    pub const ALL: [YcsbWorkload; 5] = [
+        YcsbWorkload::A,
+        YcsbWorkload::B,
+        YcsbWorkload::C,
+        YcsbWorkload::D,
+        YcsbWorkload::F,
+    ];
+
+    /// One-letter name, as in the YCSB papers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "A",
+            YcsbWorkload::B => "B",
+            YcsbWorkload::C => "C",
+            YcsbWorkload::D => "D",
+            YcsbWorkload::F => "F",
+        }
+    }
+
+    /// Parse a workload letter (case-insensitive).
+    pub fn from_name(name: &str) -> Option<YcsbWorkload> {
+        match name.to_ascii_uppercase().as_str() {
+            "A" => Some(YcsbWorkload::A),
+            "B" => Some(YcsbWorkload::B),
+            "C" => Some(YcsbWorkload::C),
+            "D" => Some(YcsbWorkload::D),
+            "F" => Some(YcsbWorkload::F),
+            _ => None,
+        }
+    }
+
+    /// Fraction of run-phase operations that are plain reads.
+    pub fn read_fraction(&self) -> f64 {
+        match self {
+            YcsbWorkload::A | YcsbWorkload::F => 0.5,
+            YcsbWorkload::B | YcsbWorkload::D => 0.95,
+            YcsbWorkload::C => 1.0,
+        }
+    }
+}
+
+/// One operation of a YCSB stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Point lookup.
+    Read(String),
+    /// Overwrite an existing record.
+    Update(String, Vec<u8>),
+    /// Create a new record (load phase, and workload D's run phase).
+    Insert(String, Vec<u8>),
+    /// Read the record, then write a new value back.
+    ReadModifyWrite(String, Vec<u8>),
+}
+
+impl KvOp {
+    /// The key this operation targets.
+    pub fn key(&self) -> &str {
+        match self {
+            KvOp::Read(k)
+            | KvOp::Update(k, _)
+            | KvOp::Insert(k, _)
+            | KvOp::ReadModifyWrite(k, _) => k,
+        }
+    }
+
+    /// Whether the operation writes.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, KvOp::Read(_))
+    }
+}
+
+/// Parameters of one YCSB run: workload letter, sizes, skew, seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YcsbSpec {
+    /// Which core workload to run.
+    pub workload: YcsbWorkload,
+    /// Records inserted by the load phase.
+    pub records: u64,
+    /// Operations issued by the run phase.
+    pub ops: u64,
+    /// Zipfian skew θ (YCSB default 0.99).
+    pub theta: f64,
+    /// Value payload size in bytes.
+    pub value_len: usize,
+    /// Master seed: equal specs generate byte-identical streams.
+    pub seed: u64,
+}
+
+impl YcsbSpec {
+    /// A spec with the YCSB defaults (`θ = 0.99`, 100-byte values).
+    pub fn new(workload: YcsbWorkload, records: u64, ops: u64, seed: u64) -> YcsbSpec {
+        assert!(records > 0, "need at least one record");
+        YcsbSpec {
+            workload,
+            records,
+            ops,
+            theta: 0.99,
+            value_len: 100,
+            seed,
+        }
+    }
+
+    /// Override the zipfian skew.
+    pub fn with_theta(mut self, theta: f64) -> YcsbSpec {
+        self.theta = theta;
+        self
+    }
+
+    /// Override the value size.
+    pub fn with_value_len(mut self, value_len: usize) -> YcsbSpec {
+        self.value_len = value_len;
+        self
+    }
+
+    /// The canonical YCSB key of record `i`: `user` + 12 decimal digits.
+    pub fn key(i: u64) -> String {
+        format!("user{i:012}")
+    }
+
+    /// Deterministic value for `(key index, write sequence)`: a fresh
+    /// SplitMix64 stream per write, so re-running a spec regenerates
+    /// byte-identical payloads.
+    pub fn value(&self, key_index: u64, write_seq: u64) -> Vec<u8> {
+        let mut rng = SplitMix64::new(mix64(
+            self.seed ^ key_index.wrapping_mul(0x9E37_79B9) ^ (write_seq << 32),
+        ));
+        let mut v = Vec::with_capacity(self.value_len);
+        while v.len() < self.value_len {
+            v.extend_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        v.truncate(self.value_len);
+        v
+    }
+
+    /// The load phase: `Insert` every record in key order.
+    pub fn load_ops(&self) -> impl Iterator<Item = KvOp> + '_ {
+        (0..self.records).map(move |i| KvOp::Insert(Self::key(i), self.value(i, 0)))
+    }
+
+    /// The run phase: a seeded stream of `ops` operations in the
+    /// workload's mix.
+    pub fn run_ops(&self) -> YcsbRun {
+        YcsbRun {
+            spec: *self,
+            rng: SplitMix64::new(mix64(self.seed ^ 0xCB5B_97A5)),
+            zipf: Zipfian::new(self.records, self.theta, self.seed),
+            inserted: self.records,
+            write_seq: 1,
+            issued: 0,
+        }
+    }
+}
+
+/// Iterator over one run-phase operation stream (see [`YcsbSpec::run_ops`]).
+#[derive(Debug, Clone)]
+pub struct YcsbRun {
+    spec: YcsbSpec,
+    rng: SplitMix64,
+    zipf: Zipfian,
+    /// Records existing so far (grows under workload D).
+    inserted: u64,
+    /// Write counter, so successive writes to one key differ.
+    write_seq: u64,
+    issued: u64,
+}
+
+impl YcsbRun {
+    /// Key index for a popularity draw under the spec's distribution.
+    fn draw_index(&mut self) -> u64 {
+        if self.spec.workload == YcsbWorkload::D {
+            // Latest: zipfian offset back from the newest record.
+            let offset = self.zipf.sample(&mut self.rng) % self.inserted;
+            self.inserted - 1 - offset
+        } else {
+            self.zipf.sample_scrambled(&mut self.rng)
+        }
+    }
+}
+
+impl Iterator for YcsbRun {
+    type Item = KvOp;
+
+    fn next(&mut self) -> Option<KvOp> {
+        if self.issued >= self.spec.ops {
+            return None;
+        }
+        self.issued += 1;
+        let roll = self.rng.next_f64();
+        let read = roll < self.spec.workload.read_fraction();
+        let op = if read {
+            KvOp::Read(YcsbSpec::key(self.draw_index()))
+        } else {
+            match self.spec.workload {
+                YcsbWorkload::D => {
+                    let i = self.inserted;
+                    self.inserted += 1;
+                    KvOp::Insert(YcsbSpec::key(i), self.spec.value(i, 0))
+                }
+                w => {
+                    let i = self.draw_index();
+                    let value = self.spec.value(i, self.write_seq);
+                    self.write_seq += 1;
+                    if w == YcsbWorkload::F {
+                        KvOp::ReadModifyWrite(YcsbSpec::key(i), value)
+                    } else {
+                        KvOp::Update(YcsbSpec::key(i), value)
+                    }
+                }
+            }
+        };
+        Some(op)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.spec.ops - self.issued) as usize;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(w: YcsbWorkload) -> YcsbSpec {
+        YcsbSpec::new(w, 500, 4000, 42)
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        for w in YcsbWorkload::ALL {
+            let a: Vec<KvOp> = spec(w).run_ops().collect();
+            let b: Vec<KvOp> = spec(w).run_ops().collect();
+            assert_eq!(a, b, "workload {}", w.name());
+            let mut other = spec(w);
+            other.seed = 43;
+            let c: Vec<KvOp> = other.run_ops().collect();
+            assert_ne!(a, c, "workload {}", w.name());
+        }
+    }
+
+    #[test]
+    fn mixes_match_the_spec() {
+        for w in YcsbWorkload::ALL {
+            let ops: Vec<KvOp> = spec(w).run_ops().collect();
+            assert_eq!(ops.len(), 4000);
+            let reads = ops.iter().filter(|o| !o.is_write()).count() as f64 / 4000.0;
+            let expect = w.read_fraction();
+            assert!(
+                (reads - expect).abs() < 0.03,
+                "workload {}: read fraction {reads} vs {expect}",
+                w.name()
+            );
+            for op in &ops {
+                match (w, op) {
+                    (YcsbWorkload::A | YcsbWorkload::B, KvOp::Read(_) | KvOp::Update(..)) => {}
+                    (YcsbWorkload::C, KvOp::Read(_)) => {}
+                    (YcsbWorkload::D, KvOp::Read(_) | KvOp::Insert(..)) => {}
+                    (YcsbWorkload::F, KvOp::Read(_) | KvOp::ReadModifyWrite(..)) => {}
+                    _ => panic!("workload {} emitted {op:?}", w.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_d_inserts_extend_the_keyspace_and_reads_stay_valid() {
+        let s = spec(YcsbWorkload::D);
+        let mut max_existing = s.records;
+        for op in s.run_ops() {
+            match op {
+                KvOp::Insert(k, _) => {
+                    assert_eq!(k, YcsbSpec::key(max_existing), "inserts are sequential");
+                    max_existing += 1;
+                }
+                KvOp::Read(k) => {
+                    let idx: u64 = k.strip_prefix("user").unwrap().parse().unwrap();
+                    assert!(idx < max_existing, "read of a never-inserted key {k}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(max_existing > s.records, "D inserted nothing");
+    }
+
+    #[test]
+    fn run_reads_are_zipf_skewed() {
+        // Workload C, θ = 0.99: the hottest single key should carry
+        // roughly 1/ζ(n) of the reads — far above uniform 1/n.
+        let s = YcsbSpec::new(YcsbWorkload::C, 1000, 60_000, 7);
+        let mut counts = std::collections::HashMap::<String, u64>::new();
+        for op in s.run_ops() {
+            *counts.entry(op.key().to_string()).or_default() += 1;
+        }
+        let hottest = *counts.values().max().unwrap() as f64 / 60_000.0;
+        let expect = Zipfian::new(1000, 0.99, 0).top_mass();
+        assert!(
+            (hottest - expect).abs() < 0.05,
+            "hottest key mass {hottest:.3} vs ζ-form {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn values_are_reproducible_and_sized() {
+        let s = spec(YcsbWorkload::A).with_value_len(37);
+        assert_eq!(s.value(5, 2), s.value(5, 2));
+        assert_ne!(s.value(5, 2), s.value(5, 3));
+        assert_ne!(s.value(5, 2), s.value(6, 2));
+        assert_eq!(s.value(5, 2).len(), 37);
+    }
+
+    #[test]
+    fn keys_are_canonical() {
+        assert_eq!(YcsbSpec::key(0), "user000000000000");
+        assert_eq!(YcsbSpec::key(123), "user000000000123");
+    }
+}
