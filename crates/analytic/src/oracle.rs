@@ -114,6 +114,7 @@ impl Actions for OracleHost<'_> {
                 queue: QueueKind::Distributed,
                 payload,
                 op: self.current.op,
+                epoch: 0,
             };
             self.queue.push_back((r, msg));
         }

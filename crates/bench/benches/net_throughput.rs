@@ -31,6 +31,7 @@ fn envelope(payload: PayloadKind, size: usize) -> Envelope {
             queue: QueueKind::Distributed,
             payload,
             op: OpTag(7),
+            epoch: 0,
         },
         params: (payload == PayloadKind::Params).then(|| body.clone()),
         copy: (payload == PayloadKind::Copy).then_some(body),

@@ -1,13 +1,23 @@
 //! exp-perf — sharing-heavy data-plane throughput across the runtime's
-//! four configurations:
+//! configurations:
 //!
 //! * `baseline`  — the paper's topology: one sequencer (`K=1`), blocking
 //!   operations (`W=1`), in-process links.
-//! * `sharded`   — two sequencer shards (`K=2`), still blocking.
+//! * `sharded`   — two sequencer shards (`K=2`), still blocking, with
+//!   the client-driven gate (`ShardConfig::exclusive`): foreign-shard
+//!   replicas are pruned from broadcast waves.
 //! * `pipelined` — `K=2` with an eight-deep in-flight window (`W=8`).
+//! * `tcp`       — the paper topology over the threaded TCP loopback
+//!   mesh, eager wire (one syscall per message): the wire control point.
+//! * `tcp+coal`  — same topology, write-coalescing wire: sends buffer
+//!   per link and one flush writes each link's burst in one syscall.
+//! * `tcp+epoll` — same topology over the event-driven epoll mesh (one
+//!   I/O loop thread instead of a reader thread per link; Linux only).
 //! * `batched`   — the full data plane: `K=2, W=8` over a batched TCP
-//!   loopback mesh (coalesced `Frame::Batch` wire frames); `tcp` is its
-//!   unbatched, blocking TCP control point.
+//!   loopback mesh (coalesced `Frame::Batch` wire frames).
+//!
+//! `tcp`, `tcp+coal` and `tcp+epoll` share one topology so their ratios
+//! isolate the wire stack; `baseline`/`sharded` isolate the gating fix.
 //!
 //! The workload is the sharing-heavy pattern of the `runtime/ops_per_sec`
 //! Criterion group: four clients rotating writes and reads over sixteen
@@ -40,58 +50,103 @@ fn sys() -> SystemParams {
 #[derive(Clone, Copy, PartialEq)]
 enum Wire {
     InProc,
-    Tcp { batch: bool },
+    /// Threaded mesh: eager (false) or per-link write coalescing (true).
+    Tcp {
+        coalesce: bool,
+    },
+    /// Threaded mesh with `Frame::Batch` wire frames.
+    TcpBatch,
+    /// Event-driven epoll mesh (Linux only; skipped elsewhere).
+    Epoll,
+}
+
+impl Wire {
+    fn json_name(self) -> &'static str {
+        match self {
+            Wire::InProc => "inproc",
+            Wire::Tcp { coalesce: false } => "tcp",
+            Wire::Tcp { coalesce: true } => "tcp+coalesce",
+            Wire::TcpBatch => "tcp+batch",
+            Wire::Epoll => "tcp+epoll",
+        }
+    }
+
+    fn available(self) -> bool {
+        self != Wire::Epoll || cfg!(target_os = "linux")
+    }
 }
 
 #[derive(Clone, Copy)]
 struct Variant {
     name: &'static str,
-    cfg: ShardConfig,
+    shards: usize,
+    window: usize,
+    exclusive: bool,
     wire: Wire,
 }
 
-const VARIANTS: [Variant; 5] = [
+const VARIANTS: [Variant; 7] = [
     Variant {
         name: "baseline",
-        cfg: ShardConfig {
-            shards: 1,
-            window: 1,
-        },
+        shards: 1,
+        window: 1,
+        exclusive: false,
         wire: Wire::InProc,
     },
     Variant {
         name: "sharded",
-        cfg: ShardConfig {
-            shards: 2,
-            window: 1,
-        },
+        shards: 2,
+        window: 1,
+        exclusive: true,
         wire: Wire::InProc,
     },
     Variant {
         name: "pipelined",
-        cfg: ShardConfig {
-            shards: 2,
-            window: 8,
-        },
+        shards: 2,
+        window: 8,
+        exclusive: true,
         wire: Wire::InProc,
     },
     Variant {
         name: "tcp",
-        cfg: ShardConfig {
-            shards: 1,
-            window: 1,
-        },
-        wire: Wire::Tcp { batch: false },
+        shards: 1,
+        window: 1,
+        exclusive: false,
+        wire: Wire::Tcp { coalesce: false },
+    },
+    Variant {
+        name: "tcp+coal",
+        shards: 1,
+        window: 1,
+        exclusive: false,
+        wire: Wire::Tcp { coalesce: true },
+    },
+    Variant {
+        name: "tcp+epoll",
+        shards: 1,
+        window: 1,
+        exclusive: false,
+        wire: Wire::Epoll,
     },
     Variant {
         name: "batched",
-        cfg: ShardConfig {
-            shards: 2,
-            window: 8,
-        },
-        wire: Wire::Tcp { batch: true },
+        shards: 2,
+        window: 8,
+        exclusive: true,
+        wire: Wire::TcpBatch,
     },
 ];
+
+impl Variant {
+    fn cfg(&self) -> ShardConfig {
+        let cfg = ShardConfig::new(self.shards).with_window(self.window);
+        if self.exclusive {
+            cfg.exclusive()
+        } else {
+            cfg
+        }
+    }
+}
 
 /// Drive the sharing-heavy pattern and return ops/s. The in-flight cap
 /// is `W × clients`, so `W = 1` reproduces the blocking seed behaviour
@@ -99,14 +154,26 @@ const VARIANTS: [Variant; 5] = [
 /// pipeline full.
 fn run_cell(kind: ProtocolKind, v: Variant, ops: usize) -> f64 {
     let sys = sys();
-    let n = v.cfg.total_nodes(&sys);
+    let cfg = v.cfg();
+    let n = cfg.total_nodes(&sys);
     let cluster = match v.wire {
-        Wire::InProc => Cluster::with_transport(sys, kind, v.cfg, InProcTransport::new(n)),
-        Wire::Tcp { batch } => {
+        Wire::InProc => Cluster::with_transport(sys, kind, cfg, InProcTransport::new(n)),
+        Wire::Tcp { coalesce } => {
             let t = TcpTransport::loopback(n).expect("loopback mesh");
-            let t = if batch { t.batched() } else { t };
-            Cluster::with_transport(sys, kind, v.cfg, t)
+            let t = if coalesce { t.coalescing() } else { t };
+            Cluster::with_transport(sys, kind, cfg, t)
         }
+        Wire::TcpBatch => {
+            let t = TcpTransport::loopback(n).expect("loopback mesh").batched();
+            Cluster::with_transport(sys, kind, cfg, t)
+        }
+        #[cfg(target_os = "linux")]
+        Wire::Epoll => {
+            let t = repmem_net::EpollTransport::loopback(n).expect("epoll mesh");
+            Cluster::with_transport(sys, kind, cfg, t)
+        }
+        #[cfg(not(target_os = "linux"))]
+        Wire::Epoll => unreachable!("epoll variant filtered out off-Linux"),
     }
     .expect("cluster");
     let handles: Vec<_> = (0..N_CLIENTS)
@@ -120,7 +187,7 @@ fn run_cell(kind: ProtocolKind, v: Variant, ops: usize) -> f64 {
             .write(ObjectId(o), payload.clone())
             .expect("warmup");
     }
-    let cap = v.cfg.window * N_CLIENTS;
+    let cap = v.window * N_CLIENTS;
     let mut tickets: VecDeque<Ticket> = VecDeque::with_capacity(cap);
     let start = Instant::now();
     for i in 0..ops {
@@ -153,6 +220,15 @@ fn run_cell_median(kind: ProtocolKind, v: Variant, ops: usize, reps: usize) -> f
     rates[rates.len() / 2]
 }
 
+/// The wire-sensitive protocols of the acceptance gate: high
+/// message-per-operation counts, so per-hop wire overhead dominates.
+const CHATTY: [ProtocolKind; 4] = [
+    ProtocolKind::WriteThrough,
+    ProtocolKind::Dragon,
+    ProtocolKind::Firefly,
+    ProtocolKind::Quorum,
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
@@ -169,6 +245,12 @@ fn main() {
     let ops = flag("--ops", 12000);
     let reps = flag("--reps", 5).max(1);
 
+    let variants: Vec<Variant> = VARIANTS
+        .into_iter()
+        .filter(|v| v.wire.available())
+        .collect();
+    let col = |name: &str| -> Option<usize> { variants.iter().position(|v| v.name == name) };
+
     let sys = sys();
     println!(
         "exp-perf — sharing-heavy ops/s, N={} clients, M={} objects, \
@@ -176,7 +258,7 @@ fn main() {
         sys.n_clients, sys.m_objects
     );
     print!("{:<16}", "protocol");
-    for v in VARIANTS {
+    for v in &variants {
         print!("{:>12}", v.name);
     }
     println!();
@@ -185,8 +267,8 @@ fn main() {
     for kind in ProtocolKind::EVERY {
         print!("{:<16}", kind.name());
         let mut cells = Vec::new();
-        for v in VARIANTS {
-            let rate = run_cell_median(kind, v, ops, reps);
+        for v in &variants {
+            let rate = run_cell_median(kind, *v, ops, reps);
             print!("{:>12.0}", rate);
             use std::io::Write;
             std::io::stdout().flush().ok();
@@ -196,48 +278,80 @@ fn main() {
         rows.push((kind, cells));
     }
 
-    // Acceptance ratios: the full data plane against its own wire's
-    // blocking baseline, and the in-process pipeline against the seed.
-    let geo = |num: usize, den: usize| -> f64 {
-        let log_sum: f64 = rows.iter().map(|(_, c)| (c[num] / c[den]).ln()).sum();
-        (log_sum / rows.len() as f64).exp()
+    // Acceptance ratios. Geomeans over all nine protocols compare each
+    // configuration with its natural control point; the chatty-subset
+    // geomean isolates the event-driven mesh on the protocols whose
+    // per-operation message count makes the wire the bottleneck.
+    let geo = |num: usize, den: usize, kinds: &[ProtocolKind]| -> f64 {
+        let picked: Vec<f64> = rows
+            .iter()
+            .filter(|(k, _)| kinds.contains(k))
+            .map(|(_, c)| (c[num] / c[den]).ln())
+            .collect();
+        (picked.iter().sum::<f64>() / picked.len() as f64).exp()
     };
-    let pipe_x = geo(2, 0);
-    let batch_x = geo(4, 3);
-    println!("\ngeomean speedups over all protocols:");
-    println!("  pipelined (K=2, W=8, in-proc)  vs baseline (in-proc): {pipe_x:.2}x");
-    println!("  batched   (K=2, W=8, batched TCP) vs tcp (blocking TCP): {batch_x:.2}x");
+    let every = ProtocolKind::EVERY;
+    let (bl, sh, pi, tcp) = (
+        col("baseline").expect("baseline"),
+        col("sharded").expect("sharded"),
+        col("pipelined").expect("pipelined"),
+        col("tcp").expect("tcp"),
+    );
+    let pipe_x = geo(pi, bl, &every);
+    let shard_x = geo(sh, bl, &every);
+    let batch_x = col("batched").map(|b| geo(b, tcp, &every));
+    let coal_x = col("tcp+coal").map(|c| geo(c, tcp, &CHATTY));
+    let epoll_x = col("tcp+epoll").map(|e| geo(e, tcp, &CHATTY));
+    println!("\ngeomean speedups:");
+    println!("  sharded   (K=2, W=1, gated)    vs baseline (in-proc): {shard_x:.2}x  [all 9]");
+    println!("  pipelined (K=2, W=8, in-proc)  vs baseline (in-proc): {pipe_x:.2}x  [all 9]");
+    if let Some(x) = batch_x {
+        println!("  batched   (K=2, W=8, batch TCP) vs tcp (eager TCP):   {x:.2}x  [all 9]");
+    }
+    if let Some(x) = coal_x {
+        println!("  tcp+coal  (coalescing wire)    vs tcp (eager TCP):   {x:.2}x  [chatty 4]");
+    }
+    if let Some(x) = epoll_x {
+        println!("  tcp+epoll (event-driven mesh)  vs tcp (eager TCP):   {x:.2}x  [chatty 4]");
+    }
+    if let Some((_, cells)) = rows.iter().find(|(k, _)| *k == ProtocolKind::Quorum) {
+        let best_tcp = col("tcp+epoll").or(col("tcp+coal")).unwrap_or(tcp);
+        println!(
+            "\nQuorum over-the-wire gap (in-proc baseline / cell): \
+             tcp {:.1}x, best wire ({}) {:.1}x",
+            cells[bl] / cells[tcp],
+            variants[best_tcp].name,
+            cells[bl] / cells[best_tcp],
+        );
+    }
 
     if json {
         let config = format!(
             "{{\"n_clients\": {}, \"s\": {}, \"p\": {}, \"m_objects\": {}, \"ops\": {ops}, \"reps\": {reps}}}",
             sys.n_clients, sys.s, sys.p, sys.m_objects
         );
-        let mut variants = String::from("{\n");
-        for (i, v) in VARIANTS.iter().enumerate() {
-            let wire = match v.wire {
-                Wire::InProc => "inproc",
-                Wire::Tcp { batch: false } => "tcp",
-                Wire::Tcp { batch: true } => "tcp+batch",
-            };
-            variants.push_str(&format!(
-                "    \"{}\": {{\"shards\": {}, \"window\": {}, \"wire\": \"{wire}\"}}{}\n",
+        let mut variants_json = String::from("{\n");
+        for (i, v) in variants.iter().enumerate() {
+            variants_json.push_str(&format!(
+                "    \"{}\": {{\"shards\": {}, \"window\": {}, \"wire\": \"{}\", \"exclusive\": {}}}{}\n",
                 v.name,
-                v.cfg.shards,
-                v.cfg.window,
-                if i + 1 < VARIANTS.len() { "," } else { "" }
+                v.shards,
+                v.window,
+                v.wire.json_name(),
+                v.exclusive,
+                if i + 1 < variants.len() { "," } else { "" }
             ));
         }
-        variants.push_str("  }");
+        variants_json.push_str("  }");
         let mut grid = String::from("{\n");
         for (r, (kind, cells)) in rows.iter().enumerate() {
             grid.push_str(&format!("    \"{}\": {{", kind.name()));
-            for (i, (v, rate)) in VARIANTS.iter().zip(cells).enumerate() {
+            for (i, (v, rate)) in variants.iter().zip(cells).enumerate() {
                 grid.push_str(&format!(
                     "\"{}\": {:.1}{}",
                     v.name,
                     rate,
-                    if i + 1 < VARIANTS.len() { ", " } else { "" }
+                    if i + 1 < variants.len() { ", " } else { "" }
                 ));
             }
             grid.push_str(&format!(
@@ -246,16 +360,27 @@ fn main() {
             ));
         }
         grid.push_str("  }");
-        let speedup =
-            format!("{{\"pipelined_vs_baseline\": {pipe_x:.2}, \"batched_vs_tcp\": {batch_x:.2}}}");
+        let mut speedup = format!(
+            "{{\"pipelined_vs_baseline\": {pipe_x:.2}, \"sharded_vs_baseline\": {shard_x:.2}"
+        );
+        if let Some(x) = batch_x {
+            speedup.push_str(&format!(", \"batched_vs_tcp\": {x:.2}"));
+        }
+        if let Some(x) = coal_x {
+            speedup.push_str(&format!(", \"coalesce_vs_tcp_chatty\": {x:.2}"));
+        }
+        if let Some(x) = epoll_x {
+            speedup.push_str(&format!(", \"epoll_vs_tcp_chatty\": {x:.2}"));
+        }
+        speedup.push('}');
         // Upsert rather than rewrite: exp-ycsb owns the "ycsb" section
-        // of the same scoreboard.
+        // of the same scoreboard, exp-scale the "scale" section.
         let path = repmem_bench::bench_json_path();
         repmem_bench::upsert_bench_sections(
             &path,
             &[
                 ("config", config),
-                ("variants", variants),
+                ("variants", variants_json),
                 ("ops_per_sec", grid),
                 ("geomean_speedup", speedup),
             ],

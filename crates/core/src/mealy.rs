@@ -131,6 +131,27 @@ pub trait Actions {
     /// Update the owner register.
     fn set_owner(&mut self, owner: NodeId);
 
+    /// Ownership epoch register paired with [`Actions::owner`]: the
+    /// reign number of the owner the register currently names. A
+    /// granting owner bumps it at every ownership transfer, and hosts
+    /// stamp outgoing messages with it ([`crate::Msg::epoch`]), so a
+    /// receiver can tell a fresh ownership announcement from a stale
+    /// one — invalidation waves from *different* grantors share no
+    /// FIFO channel, so under concurrency an old wave can arrive after
+    /// a newer one. Registers guarded by `msg.epoch >= owner_epoch()`
+    /// only ever move forward along the grant chain, which makes
+    /// request forwarding terminate at the current owner.
+    ///
+    /// Hosts whose delivery is serialized or causally ordered (the
+    /// oracle, the discrete-event simulator, recording mocks) may keep
+    /// these defaults: every message is stamped zero, the freshness
+    /// test is always `0 >= 0`, and behaviour is unchanged.
+    fn owner_epoch(&self) -> u64 {
+        0
+    }
+    /// Update the ownership epoch register.
+    fn set_owner_epoch(&mut self, _epoch: u64) {}
+
     /// `push(destination, message-token, additional-parameters)`: send a
     /// token (optionally composed with `except`). The host attaches the
     /// actual data for `Params` (from the current operation context) and
@@ -272,6 +293,16 @@ impl ProtocolKind {
     /// formulation for all client-driven workloads; see DESIGN.md §4.)
     pub fn migrating_sequencer(self) -> bool {
         matches!(self, ProtocolKind::Berkeley)
+    }
+
+    /// Whether every replica is a first-class voter the protocol polls
+    /// directly (the sequencer-free quorum family), as opposed to the
+    /// eight sequencer-based protocols, whose waves fan out from a
+    /// per-object sequencing point. A polling protocol's replicas can
+    /// never be dropped from broadcast waves: a majority is counted
+    /// over all of them.
+    pub fn polls_all_replicas(self) -> bool {
+        matches!(self, ProtocolKind::Quorum)
     }
 }
 

@@ -235,6 +235,12 @@ pub struct Msg {
     pub payload: PayloadKind,
     /// Host-assigned operation tag for cost attribution.
     pub op: OpTag,
+    /// Ownership epoch the sender's registers were at when this message
+    /// was pushed (see [`crate::Actions::owner_epoch`]). Protocols with
+    /// migrating ownership use it to tell a fresh ownership
+    /// announcement from one that was delayed in flight; everywhere
+    /// else it is zero.
+    pub epoch: u64,
 }
 
 impl Msg {
@@ -265,6 +271,7 @@ impl Msg {
                 _ => PayloadKind::Token,
             },
             op,
+            epoch: 0,
         }
     }
 }

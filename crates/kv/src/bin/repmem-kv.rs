@@ -96,7 +96,7 @@ fn run() -> Result<(), String> {
             m_objects: slots,
         },
         kind,
-        cfg: ShardConfig { shards, window },
+        cfg: ShardConfig::new(shards).with_window(window),
         key_seed,
     };
     let mut server = KvServer::start(config, &listen).map_err(|e| e.to_string())?;

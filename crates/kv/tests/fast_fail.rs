@@ -97,3 +97,77 @@ fn scan_touching_a_dead_shard_fails_fast() {
     // were failed, and shutdown tolerates the severed link.
     let _ = cluster.shutdown();
 }
+
+/// The dead-peer set is cluster-wide, not per node loop: once *one*
+/// node has paid the retry deadline discovering a dead shard, the first
+/// operation from a handle on a *different* node fast-fails too —
+/// before this, every node paid the full deadline as its own private
+/// detection (the documented first-op stall from the recovery PR).
+#[test]
+fn first_op_from_another_node_rides_the_shared_dead_set() {
+    let sys = SystemParams {
+        n_clients: 2,
+        s: 64,
+        p: 16,
+        m_objects: 64,
+    };
+    let cfg = ShardConfig::new(2).with_window(4);
+    let transport = FaultTransport::new(
+        InProcTransport::new(cfg.total_nodes(&sys)),
+        FaultSchedule::new(),
+    );
+    let fault = transport.handle();
+    let policy = RecoveryPolicy {
+        retry_deadline: DEADLINE,
+        base: Duration::from_micros(100),
+        cap: Duration::from_millis(1),
+    };
+    let cluster = Cluster::with_recovery(sys, ProtocolKind::WriteThrough, cfg, transport, policy)
+        .expect("cluster");
+    let space = KeySpace::new(64, 42);
+    let store0 = KvStore::new(cluster.handle(NodeId(0)), space);
+    let store1 = KvStore::new(cluster.handle(NodeId(1)), space);
+
+    let dead = NodeId(2);
+    let dead_key = (0..64u64)
+        .map(|i| format!("user{i:012}"))
+        .find(|k| cfg.home_of(&sys, space.object_of(k)) == dead)
+        .expect("a key homed on the dead shard");
+
+    // The shard dies for everyone: both client nodes lose their link.
+    fault.sever(NodeId(0), dead);
+    fault.sever(NodeId(1), dead);
+
+    // Node 0 pays the deadline: that is detection, and it publishes the
+    // death in the cluster-wide dead set.
+    let start = Instant::now();
+    let err = store0.put(&dead_key, b"v").expect_err("dead put");
+    assert!(
+        matches!(err, ClusterError::NodeDown(n) if n == dead),
+        "{err:?}"
+    );
+    assert!(
+        start.elapsed() >= DEADLINE,
+        "first failure should wait out the deadline (took {:?})",
+        start.elapsed()
+    );
+
+    // Node 1 has never talked to the dead shard, so its own known-down
+    // set is empty — but the shared hint makes its *first* operation
+    // fail in a single attempt instead of a second full deadline.
+    let start = Instant::now();
+    let err = store1
+        .put(&dead_key, b"v")
+        .expect_err("dead put via node 1");
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(err, ClusterError::NodeDown(n) if n == dead),
+        "{err:?}"
+    );
+    assert!(
+        elapsed < DEADLINE / 2,
+        "first op from another node should ride the shared dead set, took {elapsed:?}"
+    );
+
+    let _ = cluster.shutdown();
+}

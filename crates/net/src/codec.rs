@@ -20,8 +20,9 @@ use repmem_core::{
 };
 use std::io::{Read, Write};
 
-/// Wire protocol version carried by the hello handshake.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire protocol version carried by the hello handshake. Version 2
+/// added the ownership-epoch field to envelope bodies.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame body; larger length prefixes are rejected
 /// before any allocation happens.
@@ -102,8 +103,8 @@ pub(crate) const TAG_BATCH: u8 = 8;
 
 /// Fixed encoded size of an envelope body with no payload sections:
 /// frame tag, msg kind, initiator, sender, object, queue, payload kind,
-/// op tag, clock, flags.
-const ENVELOPE_FIXED_LEN: u64 = 1 + 1 + 2 + 2 + 4 + 1 + 1 + 8 + 8 + 1;
+/// op tag, ownership epoch, clock, flags.
+const ENVELOPE_FIXED_LEN: u64 = 1 + 1 + 2 + 2 + 4 + 1 + 1 + 8 + 8 + 8 + 1;
 /// Fixed per-payload overhead: version, writer, data length prefix.
 const PAYLOAD_FIXED_LEN: u64 = 8 + 2 + 4;
 
@@ -159,6 +160,7 @@ pub(crate) fn put_envelope(out: &mut Vec<u8>, env: &Envelope) {
     out.push(m.queue.wire_code());
     out.push(m.payload.wire_code());
     out.extend_from_slice(&m.op.0.to_le_bytes());
+    out.extend_from_slice(&m.epoch.to_le_bytes());
     out.extend_from_slice(&env.clock.to_le_bytes());
     let flags = u8::from(env.params.is_some()) | (u8::from(env.copy.is_some()) << 1);
     out.push(flags);
@@ -397,6 +399,7 @@ fn get_envelope(c: &mut Cursor<'_>) -> Result<Envelope, CodecError> {
     let pc = c.u8()?;
     let payload = PayloadKind::from_wire_code(pc).ok_or_else(|| bad_code("PayloadKind", pc))?;
     let op = OpTag(c.u64()?);
+    let epoch = c.u64()?;
     let clock = c.u64()?;
     let flags = c.u8()?;
     if flags & !0b11 != 0 {
@@ -423,6 +426,7 @@ fn get_envelope(c: &mut Cursor<'_>) -> Result<Envelope, CodecError> {
             queue,
             payload,
             op,
+            epoch,
         },
         params,
         copy,
@@ -516,6 +520,68 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, CodecError> {
     };
     c.done()?;
     Ok(frame)
+}
+
+/// Incremental frame assembler for nonblocking sockets.
+///
+/// A readiness-driven reader cannot use [`read_frame`] (a partial frame
+/// would block the whole event loop), so it appends whatever bytes the
+/// socket had via [`FrameBuf::extend`] and drains complete frames with
+/// [`FrameBuf::next`] — any trailing partial frame stays buffered until
+/// the next readable event. The length prefix is validated against
+/// [`MAX_FRAME_LEN`] *before* the body arrives, so a hostile peer cannot
+/// make the assembler buffer without bound.
+#[derive(Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Start of the first undecoded byte in `buf`.
+    at: usize,
+}
+
+impl FrameBuf {
+    /// An empty assembler.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Append bytes read off the wire.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: decoded prefixes are dead weight and
+        // letting them pile up would double the buffer's high-water mark.
+        if self.at > 0 && (self.at >= self.buf.len() || self.at >= 64 * 1024) {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame, or `None` if more bytes are
+    /// needed. Malformed frames (oversized prefix, bad body) are
+    /// permanent: the stream is unusable past them.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, CodecError> {
+        let pending = &self.buf[self.at..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(CodecError::Malformed(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+            )));
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = decode_frame(&pending[4..4 + len])?;
+        self.at += 4 + len;
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet decoded (a partial frame, or frames
+    /// not yet pulled with [`FrameBuf::next`]).
+    pub fn pending(&self) -> &[u8] {
+        &self.buf[self.at..]
+    }
 }
 
 /// Read one frame from a stream. Returns [`CodecError::Eof`] on a clean

@@ -1,0 +1,340 @@
+//! Minimal `epoll`/`eventfd` bindings over the glibc the std library
+//! already links — no `libc` crate, keeping the workspace's
+//! no-external-deps stance. Linux-only (gated at the module level).
+//!
+//! Everything here is a thin RAII wrapper: [`Epoll`] owns the epoll
+//! instance, [`WakeFd`] an `eventfd` used to kick the event loop out of
+//! `epoll_wait` from other threads, and [`connect_nonblocking`] starts a
+//! TCP dial that completes via `EPOLLOUT` + [`take_socket_error`]
+//! (so reconnect backoff can live *inside* the loop instead of on
+//! per-peer threads). File descriptors travel as [`std::os::fd`] types;
+//! nothing outside this module touches a raw syscall.
+
+use std::io;
+use std::net::SocketAddr;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+#[allow(non_camel_case_types)]
+type c_int = i32;
+
+/// One readiness event, matching the kernel's `struct epoll_event`
+/// layout (packed on x86-64, naturally aligned elsewhere).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Readiness bits (`EPOLLIN` | `EPOLLOUT` | ...).
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub data: u64,
+}
+
+/// Readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, no need to register).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, no need to register).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0o4000;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_ERROR: c_int = 4;
+const EINPROGRESS: i32 = 115;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn connect(fd: c_int, addr: *const u8, len: u32) -> c_int;
+    fn getsockopt(fd: c_int, level: c_int, name: c_int, val: *mut u8, len: *mut u32) -> c_int;
+    fn sched_setscheduler(pid: c_int, policy: c_int, param: *const SchedParam) -> c_int;
+}
+
+#[repr(C)]
+struct SchedParam {
+    sched_priority: c_int,
+}
+
+const SCHED_BATCH: c_int = 3;
+
+/// Put the calling thread under `SCHED_BATCH`.
+///
+/// An I/O-multiplexing thread sleeps in `epoll_wait` most of the time,
+/// so the scheduler treats it as interactive and lets it wakeup-preempt
+/// whichever thread just made a socket readable — usually the very
+/// sender that is mid-way through writing a burst of replies, which
+/// fragments the burst into many tiny runner rounds. `SCHED_BATCH`
+/// exists for exactly this: the thread stays at normal priority but no
+/// longer preempts on wakeup, so senders finish their batch and the
+/// runner then drains all of it in one `epoll_wait` round. Failure is
+/// ignored (the policy is an optimization, not a correctness need).
+pub fn set_batch_scheduling() {
+    let param = SchedParam { sched_priority: 0 };
+    // pid 0 targets only the calling thread.
+    let _ = unsafe { sched_setscheduler(0, SCHED_BATCH, &param) };
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: epoll_create1 returned a fresh fd we now own.
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Register `fd` for `events`, tagged with `token`.
+    pub fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, events)
+    }
+
+    /// Change the registered event mask of `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, events)
+    }
+
+    /// Deregister `fd`.
+    pub fn del(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block for ready events, up to `timeout` (`None` = forever).
+    /// Returns how many entries of `events` were filled.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout: Option<Duration>) -> io::Result<usize> {
+        let ms: c_int = match timeout {
+            None => -1,
+            // Round *up* so a 0.5ms backoff deadline doesn't spin.
+            Some(t) => t
+                .as_millis()
+                .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as c_int,
+        };
+        loop {
+            let n = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.len() as c_int,
+                    ms,
+                )
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl AsRawFd for Epoll {
+    /// An epoll fd is itself pollable (readable when it has ready
+    /// events), so one epoll instance can be nested under another.
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+}
+
+/// An `eventfd` used to wake the event loop from other threads.
+pub struct WakeFd {
+    fd: OwnedFd,
+}
+
+impl WakeFd {
+    /// A fresh nonblocking eventfd.
+    pub fn new() -> io::Result<WakeFd> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        // SAFETY: eventfd returned a fresh fd we now own.
+        Ok(WakeFd {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    /// Make the loop's next (or current) `epoll_wait` return. Safe from
+    /// any thread; failures are ignored (worst case the loop wakes on
+    /// its timeout instead).
+    pub fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        let _ = unsafe { write(self.fd.as_raw_fd(), one.as_ptr(), one.len()) };
+    }
+
+    /// Consume pending wakeups so the fd reads as idle again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        let _ = unsafe { read(self.fd.as_raw_fd(), buf.as_mut_ptr(), buf.len()) };
+    }
+}
+
+impl AsRawFd for WakeFd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+}
+
+/// Encode a `SocketAddr` as a raw `sockaddr_in{,6}`; returns the buffer
+/// and the populated length.
+fn sockaddr_bytes(addr: &SocketAddr) -> ([u8; 28], u32) {
+    let mut buf = [0u8; 28];
+    match addr {
+        SocketAddr::V4(a) => {
+            buf[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+            buf[2..4].copy_from_slice(&a.port().to_be_bytes());
+            buf[4..8].copy_from_slice(&a.ip().octets());
+            (buf, 16)
+        }
+        SocketAddr::V6(a) => {
+            buf[0..2].copy_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+            buf[2..4].copy_from_slice(&a.port().to_be_bytes());
+            buf[4..8].copy_from_slice(&a.flowinfo().to_ne_bytes());
+            buf[8..24].copy_from_slice(&a.ip().octets());
+            buf[24..28].copy_from_slice(&a.scope_id().to_ne_bytes());
+            (buf, 28)
+        }
+    }
+}
+
+/// Start a nonblocking TCP connect to `addr`. The returned socket is
+/// either already connected or still in progress; in both cases the
+/// caller registers it for `EPOLLOUT` and calls [`take_socket_error`]
+/// when writability fires to learn the outcome.
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<OwnedFd> {
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    // SAFETY: socket returned a fresh fd we now own.
+    let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+    let (sa, len) = sockaddr_bytes(addr);
+    let ret = unsafe { connect(owned.as_raw_fd(), sa.as_ptr(), len) };
+    if ret == 0 {
+        return Ok(owned); // connected on the spot (loopback fast path)
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(EINPROGRESS) {
+        return Ok(owned);
+    }
+    Err(err)
+}
+
+/// Read-and-clear `SO_ERROR`: the deferred result of a nonblocking
+/// connect once `EPOLLOUT` reported the socket writable.
+pub fn take_socket_error(fd: RawFd) -> io::Result<()> {
+    let mut err = [0u8; 4];
+    let mut len = err.len() as u32;
+    cvt(unsafe { getsockopt(fd, SOL_SOCKET, SO_ERROR, err.as_mut_ptr(), &mut len) })?;
+    let code = i32::from_ne_bytes(err);
+    if code == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::from_raw_os_error(code))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn eventfd_wakes_epoll_wait() {
+        let ep = Epoll::new().unwrap();
+        let wake = WakeFd::new().unwrap();
+        ep.add(wake.as_raw_fd(), 7, EPOLLIN).unwrap();
+        let mut evs = [EpollEvent::default(); 4];
+        // Nothing pending: times out empty.
+        let n = ep.wait(&mut evs, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(n, 0);
+        wake.wake();
+        let n = ep.wait(&mut evs, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!({ evs[0].data }, 7);
+        wake.drain();
+        let n = ep.wait(&mut evs, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_via_epollout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fd = connect_nonblocking(&addr).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(fd.as_raw_fd(), 1, EPOLLOUT).unwrap();
+        let mut evs = [EpollEvent::default(); 4];
+        let n = ep.wait(&mut evs, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        take_socket_error(fd.as_raw_fd()).unwrap();
+        let (mut peer, _) = listener.accept().unwrap();
+        let stream = TcpStream::from(fd);
+        peer.write_all(b"ping").unwrap();
+        stream.set_nonblocking(false).unwrap();
+        let mut got = [0u8; 4];
+        use std::io::Read as _;
+        (&stream).read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"ping");
+    }
+
+    #[test]
+    fn nonblocking_connect_to_closed_port_reports_the_error() {
+        // Bind-then-drop: the port is (almost certainly) closed.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let Ok(fd) = connect_nonblocking(&addr) else {
+            return; // synchronous refusal is also a pass
+        };
+        let ep = Epoll::new().unwrap();
+        ep.add(fd.as_raw_fd(), 1, EPOLLOUT).unwrap();
+        let mut evs = [EpollEvent::default(); 4];
+        let n = ep.wait(&mut evs, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        assert!(take_socket_error(fd.as_raw_fd()).is_err());
+    }
+}

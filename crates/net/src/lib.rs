@@ -41,20 +41,27 @@
 
 pub mod codec;
 pub mod delay;
+#[cfg(target_os = "linux")]
+pub mod epoll;
 pub mod fault;
 pub mod inproc;
+#[cfg(target_os = "linux")]
+pub mod mesh;
 pub mod metered;
 pub mod sched;
 pub mod tcp;
 
-pub use codec::{CodecError, Frame, MAX_FRAME_LEN, WIRE_VERSION};
+pub use codec::{CodecError, Frame, FrameBuf, MAX_FRAME_LEN, WIRE_VERSION};
 pub use delay::{DelayConfig, DelayTransport};
 pub use fault::{FaultAction, FaultEvent, FaultHandle, FaultSchedule, FaultTransport};
 pub use inproc::InProcTransport;
+#[cfg(target_os = "linux")]
+pub use mesh::{EpollEndpoint, EpollTransport, MeshConfig};
 pub use metered::{ClassCounters, LinkSnapshot, MeterHandle, MeterStats, MeteredTransport};
 pub use sched::{SchedHandle, SchedTransport};
 pub use tcp::{
-    CtrlConn, CtrlHandler, ReconnectPolicy, TcpEndpoint, TcpMeshConfig, TcpTransport, CTRL_NODE,
+    CtrlConn, CtrlHandler, ReconnectPolicy, TcpEndpoint, TcpMeshConfig, TcpTransport, WireMode,
+    CTRL_NODE,
 };
 
 use bytes::Bytes;

@@ -342,6 +342,7 @@ mod tests {
                 queue: QueueKind::Distributed,
                 payload: PayloadKind::Token,
                 op: OpTag(tag),
+                epoch: 0,
             },
             params: None,
             copy: None,

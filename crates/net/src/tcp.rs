@@ -48,10 +48,12 @@ pub const CTRL_NODE: u16 = 0xFFFF;
 
 /// An accepted control-plane connection, handed to the [`CtrlHandler`]
 /// after the hello handshake. The reader must be reused as-is — it may
-/// already hold buffered frames that arrived right behind the hello.
+/// already hold buffered frames that arrived right behind the hello
+/// (which is why it is a boxed reader, not the bare stream: the epoll
+/// mesh hands over a chain of already-buffered bytes + the live socket).
 pub struct CtrlConn {
     /// Framed read half.
-    pub reader: BufReader<TcpStream>,
+    pub reader: Box<dyn std::io::Read + Send>,
     /// Write half.
     pub writer: TcpStream,
 }
@@ -88,6 +90,28 @@ impl Default for ReconnectPolicy {
     }
 }
 
+/// How outbound envelopes map onto write syscalls.
+///
+/// `Eager` is the historical per-send write-through. The other two
+/// defer the socket to [`Endpoint::flush`], so callers **must** flush
+/// before blocking on their inbox (the cluster node loop does): a
+/// broadcast fan-out — e.g. one Quorum Q-PROBE/Q-COMMIT phase hitting
+/// every peer — then costs one write syscall (and one receiver wakeup)
+/// per *link* instead of one per *envelope*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// One frame + one write syscall per send.
+    #[default]
+    Eager,
+    /// Queue individual envelope frames per link; flush pushes each
+    /// link's burst with a single write. The bytes on the wire are
+    /// identical to `Eager` — only the syscall boundaries move.
+    Coalesce,
+    /// Coalesce each link's burst into one [`Frame::Batch`] frame:
+    /// fewest bytes and syscalls, but a distinct wire encoding.
+    Batch,
+}
+
 /// Everything one node needs to join a TCP mesh.
 pub struct TcpMeshConfig {
     /// This node's id.
@@ -100,11 +124,8 @@ pub struct TcpMeshConfig {
     /// Total budget for dialing each peer (retries until then) and for
     /// waiting on a not-yet-accepted inbound link at first send.
     pub link_timeout: Duration,
-    /// Coalesce outbound envelopes per link into one
-    /// [`Frame::Batch`] put on the wire at [`Endpoint::flush`], instead
-    /// of one frame + syscall per send. Callers **must** then flush
-    /// before blocking on their inbox (the cluster node loop does).
-    pub batch: bool,
+    /// Send-to-syscall mapping (see [`WireMode`]).
+    pub mode: WireMode,
     /// Redial dead links with this policy; `None` keeps the historical
     /// dead-forever behaviour (sends fail fast with `Closed`).
     pub reconnect: Option<ReconnectPolicy>,
@@ -116,7 +137,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// SplitMix64 step: the deterministic jitter source (no RNG state to
 /// carry, no extra dependency).
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -125,7 +146,7 @@ fn splitmix64(x: u64) -> u64 {
 
 /// Backoff for attempt `k`: `min(base * 2^k, cap)` plus jitter in
 /// `[0, step/2]` drawn deterministically from `seed ^ k`.
-fn backoff_delay(base: Duration, cap: Duration, attempt: u32, seed: u64) -> Duration {
+pub(crate) fn backoff_delay(base: Duration, cap: Duration, attempt: u32, seed: u64) -> Duration {
     let step = base.saturating_mul(1u32 << attempt.min(16)).min(cap);
     let half = (step.as_nanos() as u64) / 2;
     let jitter = if half == 0 {
@@ -137,13 +158,14 @@ fn backoff_delay(base: Duration, cap: Duration, attempt: u32, seed: u64) -> Dura
 }
 
 /// Reusable per-link outbound buffer: the encode scratch for immediate
-/// sends, or the accumulating batch body when batching is on.
+/// sends, or the accumulating burst when a deferred [`WireMode`] is on.
 struct OutBuf {
-    /// Encoded bytes. In batch mode: a 9-byte frame-header placeholder
+    /// Encoded bytes. In `Batch` mode: a 9-byte frame-header placeholder
     /// (`[u32 len][tag][u32 count]`, backpatched at flush) followed by
-    /// the queued envelope bodies.
+    /// the queued envelope bodies. In `Coalesce` mode: complete
+    /// individual envelope frames, back to back.
     buf: Vec<u8>,
-    /// Envelopes queued in `buf` (batch mode only).
+    /// Envelopes queued in `buf` (deferred modes only).
     queued: u32,
 }
 
@@ -181,7 +203,7 @@ struct Shared {
     threads: Mutex<Vec<JoinHandle<()>>>,
     listen_addr: SocketAddr,
     link_timeout: Duration,
-    batch: bool,
+    mode: WireMode,
 }
 
 impl Shared {
@@ -399,7 +421,7 @@ impl TcpEndpoint {
             threads: Mutex::new(Vec::new()),
             listen_addr: cfg.listener.local_addr()?,
             link_timeout: cfg.link_timeout,
-            batch: cfg.batch,
+            mode: cfg.mode,
         });
 
         // Acceptor: lower-numbered nodes dial us; control connections
@@ -467,7 +489,7 @@ const DIAL_ATTEMPT_CAP: Duration = Duration::from_secs(1);
 const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(5);
 const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(200);
 
-fn dial_with_retry(addr: SocketAddr, budget: Duration) -> Result<TcpStream, NetError> {
+pub(crate) fn dial_with_retry(addr: SocketAddr, budget: Duration) -> Result<TcpStream, NetError> {
     let deadline = Instant::now() + budget;
     let seed = splitmix64(u64::from(addr.port()));
     let mut attempt = 0u32;
@@ -512,7 +534,7 @@ fn handle_incoming(shared: &Arc<Shared>, stream: TcpStream) {
     if node == CTRL_NODE {
         if let Some(ctrl) = &shared.ctrl {
             ctrl(CtrlConn {
-                reader,
+                reader: Box::new(reader),
                 writer: stream,
             });
         }
@@ -553,16 +575,29 @@ impl Endpoint for TcpEndpoint {
         }
         // Lock order everywhere: `out` before `stream`.
         let mut out = lock(&slot.out);
-        if shared.batch {
-            // Queue into the link's batch body; nothing touches the
-            // socket (or waits for the link) until the next flush.
-            if out.queued == 0 {
-                out.buf.clear();
-                out.buf.extend_from_slice(&[0u8; BATCH_HEADER_LEN]);
+        match shared.mode {
+            WireMode::Batch => {
+                // Queue into the link's batch body; nothing touches the
+                // socket (or waits for the link) until the next flush.
+                if out.queued == 0 {
+                    out.buf.clear();
+                    out.buf.extend_from_slice(&[0u8; BATCH_HEADER_LEN]);
+                }
+                crate::codec::put_envelope(&mut out.buf, env);
+                out.queued += 1;
+                return Ok(());
             }
-            crate::codec::put_envelope(&mut out.buf, env);
-            out.queued += 1;
-            return Ok(());
+            WireMode::Coalesce => {
+                // Queue the complete frame; the burst hits the socket
+                // as one write at the next flush.
+                if out.queued == 0 {
+                    out.buf.clear();
+                }
+                encode_envelope_frame_into(env, &mut out.buf);
+                out.queued += 1;
+                return Ok(());
+            }
+            WireMode::Eager => {}
         }
         // Immediate path: encode into the link's reusable scratch
         // buffer (no allocation once it has grown) and write through.
@@ -588,7 +623,7 @@ impl Endpoint for TcpEndpoint {
     fn flush(&self) -> Result<(), NetError> {
         use std::io::Write;
         let shared = &self.shared;
-        if !shared.batch {
+        if shared.mode == WireMode::Eager {
             return Ok(());
         }
         for (i, slot) in shared.slots.iter().enumerate() {
@@ -608,13 +643,15 @@ impl Endpoint for TcpEndpoint {
                 out.queued = 0;
                 continue;
             }
-            // Backpatch the frame header over the placeholder: body is
-            // everything after the 4-byte length prefix.
-            let body_len = (out.buf.len() - 4) as u32;
-            let queued = out.queued;
-            out.buf[0..4].copy_from_slice(&body_len.to_le_bytes());
-            out.buf[4] = crate::codec::TAG_BATCH;
-            out.buf[5..9].copy_from_slice(&queued.to_le_bytes());
+            if shared.mode == WireMode::Batch {
+                // Backpatch the frame header over the placeholder: body
+                // is everything after the 4-byte length prefix.
+                let body_len = (out.buf.len() - 4) as u32;
+                let queued = out.queued;
+                out.buf[0..4].copy_from_slice(&body_len.to_le_bytes());
+                out.buf[4] = crate::codec::TAG_BATCH;
+                out.buf[5..9].copy_from_slice(&queued.to_le_bytes());
+            }
             let mut guard = shared.wait_stream(to)?;
             let gen = slot.gen.load(Ordering::SeqCst);
             let Some(stream) = guard.as_mut() else {
@@ -667,7 +704,7 @@ pub struct TcpTransport {
     addrs: Vec<SocketAddr>,
     listeners: Vec<Option<TcpListener>>,
     link_timeout: Duration,
-    batch: bool,
+    mode: WireMode,
     reconnect: Option<ReconnectPolicy>,
 }
 
@@ -685,16 +722,24 @@ impl TcpTransport {
             addrs,
             listeners,
             link_timeout: Duration::from_secs(10),
-            batch: false,
+            mode: WireMode::Eager,
             reconnect: None,
         })
     }
 
-    /// Enable per-link envelope batching (see [`TcpMeshConfig::batch`]).
+    /// Enable per-link envelope batching ([`WireMode::Batch`]).
     /// Endpoints bound afterwards coalesce their outbound envelopes and
     /// rely on the node loop's [`Endpoint::flush`] discipline.
     pub fn batched(mut self) -> Self {
-        self.batch = true;
+        self.mode = WireMode::Batch;
+        self
+    }
+
+    /// Enable per-link write coalescing ([`WireMode::Coalesce`]): same
+    /// flush discipline as [`TcpTransport::batched`], but the wire bytes
+    /// stay identical to the eager path.
+    pub fn coalescing(mut self) -> Self {
+        self.mode = WireMode::Coalesce;
         self
     }
 
@@ -727,7 +772,7 @@ impl Transport for TcpTransport {
                 listener,
                 peers: self.addrs.clone(),
                 link_timeout: self.link_timeout,
-                batch: self.batch,
+                mode: self.mode,
                 reconnect: self.reconnect,
             },
             deliver,

@@ -41,6 +41,7 @@ fn random_envelope(rng: &mut StdRng, kind: MsgKind, payload: PayloadKind, size: 
         queue: QueueKind::ALL[rng.random_range(0..QueueKind::ALL.len())],
         payload,
         op: OpTag(rng.random::<u64>()),
+        epoch: rng.random::<u64>(),
     };
     Envelope {
         msg,

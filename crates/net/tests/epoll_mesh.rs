@@ -1,0 +1,347 @@
+//! The event-driven epoll mesh, exercised at the transport level: FIFO
+//! delivery under coalesced bursts and partial reads, loopback, wire
+//! compatibility with the threaded TCP endpoint, and the same link
+//! recovery contract the threaded mesh pins in `fault_injection.rs`
+//! (redial after a dead stream, permanent `Down` once the reconnect
+//! budget is spent, dead-forever without a policy).
+#![cfg(target_os = "linux")]
+
+use bytes::Bytes;
+use repmem_core::{Msg, MsgKind, NodeId, ObjectId, OpTag, PayloadKind, QueueKind};
+use repmem_net::{
+    DeliverFn, Endpoint, Envelope, EpollEndpoint, EpollTransport, MeshConfig, NetError, Payload,
+    ReconnectPolicy, TcpEndpoint, TcpMeshConfig, Transport, WireMode,
+};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn env(from: NodeId, clock: u64) -> Envelope {
+    Envelope {
+        msg: Msg {
+            kind: MsgKind::Ack,
+            initiator: from,
+            sender: from,
+            object: ObjectId(0),
+            queue: QueueKind::ALL[0],
+            payload: PayloadKind::Token,
+            op: OpTag(clock),
+            epoch: 0,
+        },
+        params: None,
+        copy: None,
+        clock,
+    }
+}
+
+/// An envelope dragging a `size`-byte copy payload, to force partial
+/// socket writes (EPOLLOUT drains) and partial reads (FrameBuf reassembly).
+fn fat_env(from: NodeId, clock: u64, size: usize) -> Envelope {
+    let mut e = env(from, clock);
+    e.msg.payload = PayloadKind::Copy;
+    e.copy = Some(Payload {
+        data: Bytes::from(vec![0xA5u8; size]),
+        version: clock,
+        writer: from,
+    });
+    e
+}
+
+type Sink = Arc<Mutex<Vec<(NodeId, u64)>>>;
+
+fn sink() -> (Sink, DeliverFn) {
+    let got: Sink = Arc::new(Mutex::new(Vec::new()));
+    let inner = Arc::clone(&got);
+    (
+        got,
+        Box::new(move |e: Envelope| inner.lock().unwrap().push((e.msg.sender, e.clock))),
+    )
+}
+
+fn clocks_from(got: &Sink, from: NodeId) -> Vec<u64> {
+    got.lock()
+        .unwrap()
+        .iter()
+        .filter(|(s, _)| *s == from)
+        .map(|(_, c)| *c)
+        .collect()
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    false
+}
+
+#[test]
+fn mesh_delivers_fifo_per_link_under_coalesced_bursts() {
+    const PER_LINK: u64 = 300;
+    let mut t = EpollTransport::loopback(3).unwrap();
+    let (got0, d0) = sink();
+    let (got1, d1) = sink();
+    let (got2, d2) = sink();
+    let ep2 = t.bind(NodeId(2), d2).unwrap();
+    let ep1 = t.bind(NodeId(1), d1).unwrap();
+    let ep0 = t.bind(NodeId(0), d0).unwrap();
+    let eps = [&ep0, &ep1, &ep2];
+    // Interleave destinations inside each burst so one flush carries a
+    // multi-envelope wire buffer per link; throw in fat envelopes so
+    // frames straddle socket-buffer boundaries in both directions.
+    for clock in 1..=PER_LINK {
+        for (i, ep) in eps.iter().enumerate() {
+            for j in 0..3usize {
+                if i == j {
+                    continue;
+                }
+                let e = if clock % 37 == 0 {
+                    fat_env(NodeId(i as u16), clock, 96 * 1024)
+                } else {
+                    env(NodeId(i as u16), clock)
+                };
+                ep.send(NodeId(j as u16), &e).unwrap();
+            }
+        }
+        if clock % 8 == 0 {
+            for ep in &eps {
+                ep.flush().unwrap();
+            }
+        }
+    }
+    for ep in &eps {
+        ep.flush().unwrap();
+    }
+    let full = |got: &Sink| got.lock().unwrap().len() == 2 * PER_LINK as usize;
+    assert!(
+        wait_until(Duration::from_secs(10), || full(&got0)
+            && full(&got1)
+            && full(&got2)),
+        "deliveries incomplete: {} {} {}",
+        got0.lock().unwrap().len(),
+        got1.lock().unwrap().len(),
+        got2.lock().unwrap().len()
+    );
+    let want: Vec<u64> = (1..=PER_LINK).collect();
+    for got in [&got0, &got1, &got2] {
+        for from in 0..3u16 {
+            let seen = clocks_from(got, NodeId(from));
+            if seen.is_empty() {
+                continue; // own link
+            }
+            assert_eq!(seen, want, "link from node {from} lost FIFO order");
+        }
+    }
+    for ep in eps {
+        ep.close();
+    }
+}
+
+#[test]
+fn mesh_loopback_delivery_is_inline_and_ordered() {
+    let mut t = EpollTransport::loopback(2).unwrap();
+    let (got, d) = sink();
+    let ep1 = t.bind(NodeId(1), d).unwrap();
+    let ep0 = t.bind(NodeId(0), Box::new(|_| {})).unwrap();
+    for clock in 1..=5u64 {
+        ep1.send(NodeId(1), &env(NodeId(1), clock)).unwrap();
+    }
+    // Self-sends bypass the wire entirely: visible before any flush.
+    assert_eq!(clocks_from(&got, NodeId(1)), vec![1, 2, 3, 4, 5]);
+    ep0.close();
+    ep1.close();
+}
+
+/// The epoll mesh speaks the threaded mesh's exact wire protocol: a
+/// two-node cluster with one endpoint of each kind exchanges traffic in
+/// both directions.
+#[test]
+fn mesh_interoperates_with_threaded_tcp_endpoint() {
+    let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let peers = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+    let (got1, d1) = sink();
+    // Node 1: threaded, eager. Established first so node 0's dial lands.
+    let tcp1 = TcpEndpoint::establish(
+        TcpMeshConfig {
+            me: NodeId(1),
+            listener: l1,
+            peers: peers.clone(),
+            link_timeout: Duration::from_secs(5),
+            mode: WireMode::Eager,
+            reconnect: None,
+        },
+        d1,
+        None,
+    )
+    .unwrap();
+    let (got0, d0) = sink();
+    // Node 0: event-driven, coalescing.
+    let mesh0 = EpollEndpoint::establish(
+        MeshConfig {
+            me: NodeId(0),
+            listener: l0,
+            peers,
+            link_timeout: Duration::from_secs(5),
+            reconnect: None,
+        },
+        d0,
+        None,
+    )
+    .unwrap();
+    for clock in 1..=20u64 {
+        mesh0.send(NodeId(1), &env(NodeId(0), clock)).unwrap();
+        tcp1.send(NodeId(0), &fat_env(NodeId(1), clock, 4096))
+            .unwrap();
+    }
+    mesh0.flush().unwrap();
+    tcp1.flush().unwrap();
+    let want: Vec<u64> = (1..=20).collect();
+    assert!(
+        wait_until(Duration::from_secs(5), || clocks_from(&got1, NodeId(0))
+            == want
+            && clocks_from(&got0, NodeId(1)) == want),
+        "cross-implementation traffic lost: tcp side {:?}, mesh side {:?}",
+        clocks_from(&got1, NodeId(0)),
+        clocks_from(&got0, NodeId(1)),
+    );
+    mesh0.close();
+    tcp1.close();
+}
+
+// ---------------------------------------------------------------------
+// Link recovery: the same contract `fault_injection.rs` pins for the
+// threaded mesh.
+// ---------------------------------------------------------------------
+
+fn mesh_pair(reconnect: Option<ReconnectPolicy>) -> (EpollEndpoint, EpollEndpoint, Sink) {
+    let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let peers = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+    let cfg = |me: u16, listener: TcpListener| MeshConfig {
+        me: NodeId(me),
+        listener,
+        peers: peers.clone(),
+        link_timeout: Duration::from_secs(5),
+        reconnect,
+    };
+    let (got1, d1) = sink();
+    let ep1 = EpollEndpoint::establish(cfg(1, l1), d1, None).unwrap();
+    let ep0 = EpollEndpoint::establish(cfg(0, l0), Box::new(|_| {}), None).unwrap();
+    (ep0, ep1, got1)
+}
+
+fn send_flush(ep: &EpollEndpoint, to: NodeId, e: &Envelope) -> Result<(), NetError> {
+    ep.send(to, e)?;
+    ep.flush()
+}
+
+#[test]
+fn mesh_link_recovers_after_a_dead_stream() {
+    let policy = ReconnectPolicy {
+        max_attempts: 40,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(20),
+    };
+    let (ep0, ep1, got1) = mesh_pair(Some(policy));
+    send_flush(&ep0, NodeId(1), &env(NodeId(0), 1)).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || clocks_from(&got1, NodeId(0))
+            .contains(&1)),
+        "baseline send lost"
+    );
+
+    ep0.drop_link(NodeId(1));
+    // Keep sending fresh clocks: attempts while the link is down fail
+    // fast (or die with the old stream); once recovery redials, a send
+    // is accepted onto the fresh stream and must arrive.
+    let end = Instant::now() + Duration::from_secs(10);
+    let mut clock = 1u64;
+    let mut recovered = false;
+    while Instant::now() < end && !recovered {
+        clock += 1;
+        if send_flush(&ep0, NodeId(1), &env(NodeId(0), clock)).is_ok() {
+            let c = clock;
+            recovered = wait_until(Duration::from_secs(2), || {
+                clocks_from(&got1, NodeId(0)).contains(&c)
+            });
+        } else {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    assert!(recovered, "link never recovered after drop_link");
+    // Per-link FIFO held across the outage: clocks arrive in send order.
+    let seen = clocks_from(&got1, NodeId(0));
+    assert!(seen.windows(2).all(|w| w[0] < w[1]), "reordered: {seen:?}");
+    ep0.close();
+    ep1.close();
+}
+
+#[test]
+fn mesh_reconnect_budget_exhaustion_turns_the_peer_down() {
+    let policy = ReconnectPolicy {
+        max_attempts: 3,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(5),
+    };
+    let (ep0, ep1, got1) = mesh_pair(Some(policy));
+    send_flush(&ep0, NodeId(1), &env(NodeId(0), 1)).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || clocks_from(&got1, NodeId(0))
+            .contains(&1)),
+        "baseline send lost"
+    );
+
+    // The peer goes away for good: its listener closes with it, so every
+    // redial is refused and the budget runs out.
+    ep1.close();
+    let end = Instant::now() + Duration::from_secs(10);
+    let mut down = false;
+    while Instant::now() < end && !down {
+        match send_flush(&ep0, NodeId(1), &env(NodeId(0), 99)) {
+            Err(NetError::Down(n)) => {
+                assert_eq!(n, NodeId(1));
+                down = true;
+            }
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    assert!(down, "exhausted reconnect budget never surfaced as Down");
+    ep0.close();
+}
+
+#[test]
+fn mesh_without_reconnect_policy_stays_dead_forever() {
+    let (ep0, ep1, got1) = mesh_pair(None);
+    send_flush(&ep0, NodeId(1), &env(NodeId(0), 1)).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || clocks_from(&got1, NodeId(0))
+            .contains(&1)),
+        "baseline send lost"
+    );
+    ep0.drop_link(NodeId(1));
+    // The historical contract: no recovery, the link fails fast with the
+    // transient error and never turns Down on its own.
+    let end = Instant::now() + Duration::from_secs(3);
+    let mut saw_closed = false;
+    while Instant::now() < end {
+        match send_flush(&ep0, NodeId(1), &env(NodeId(0), 2)) {
+            Err(NetError::Closed(NodeId(1))) => {
+                saw_closed = true;
+                break;
+            }
+            Err(other) => panic!("expected Closed, got {other}"),
+            Ok(()) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    assert!(saw_closed, "dead link never reported Closed");
+    assert!(matches!(
+        send_flush(&ep0, NodeId(1), &env(NodeId(0), 3)),
+        Err(NetError::Closed(NodeId(1)))
+    ));
+    ep0.close();
+    ep1.close();
+}

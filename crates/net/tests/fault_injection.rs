@@ -7,7 +7,7 @@
 use repmem_core::{Msg, MsgKind, NodeId, ObjectId, OpTag, PayloadKind, QueueKind};
 use repmem_net::{
     Endpoint, Envelope, FaultSchedule, FaultTransport, InProcTransport, NetError, ReconnectPolicy,
-    TcpEndpoint, TcpMeshConfig, Transport,
+    TcpEndpoint, TcpMeshConfig, Transport, WireMode,
 };
 use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
@@ -23,6 +23,7 @@ fn env(from: NodeId, clock: u64) -> Envelope {
             queue: QueueKind::ALL[0],
             payload: PayloadKind::Token,
             op: OpTag(clock),
+            epoch: 0,
         },
         params: None,
         copy: None,
@@ -180,7 +181,7 @@ fn tcp_pair(reconnect: Option<ReconnectPolicy>) -> (TcpEndpoint, TcpEndpoint, Si
         listener,
         peers: peers.clone(),
         link_timeout: Duration::from_secs(5),
-        batch: false,
+        mode: WireMode::Eager,
         reconnect,
     };
     let (got1, deliver1) = sink();

@@ -91,7 +91,12 @@ impl CoherenceProtocol for Berkeley {
             // travels different edges and can overtake such a grant,
             // leaving a stale readable copy). The wave excludes the new
             // owner and us, so we invalidate ourselves in place.
+            // The grant is also where the ownership epoch advances: the
+            // bumped epoch rides on the grant and the wave, so every
+            // register update they cause is recognizably newer than any
+            // still-in-flight wave from an earlier reign.
             (MsgKind::WUpg, Dirty | SharedDirty) => {
+                env.set_owner_epoch(env.owner_epoch() + 1);
                 env.push(Dest::To(msg.initiator), MsgKind::WGnt, PayloadKind::Token);
                 env.push(
                     Dest::AllExcept(msg.initiator, Some(env.me())),
@@ -102,6 +107,7 @@ impl CoherenceProtocol for Berkeley {
                 Invalid
             }
             (MsgKind::WPer, Dirty | SharedDirty) => {
+                env.set_owner_epoch(env.owner_epoch() + 1);
                 env.push(Dest::To(msg.initiator), MsgKind::WGnt, PayloadKind::Copy);
                 env.push(
                     Dest::AllExcept(msg.initiator, Some(env.me())),
@@ -112,16 +118,21 @@ impl CoherenceProtocol for Berkeley {
                 Invalid
             }
             // A request reached a node that has since lost ownership:
-            // forward it to where we believe the owner is.
-            (MsgKind::RPer, Valid | Invalid) if msg.initiator != env.me() => {
+            // forward it to where we believe the owner is. This applies
+            // to our *own* bounced request too (a peer whose register
+            // still named us from an earlier reign forwarded it here):
+            // because registers only move forward along the grant chain,
+            // each forwarding hop lands strictly closer to the current
+            // owner and the walk terminates.
+            (MsgKind::RPer, Valid | Invalid) => {
                 env.push(Dest::To(env.owner()), MsgKind::RPer, PayloadKind::Token);
                 state
             }
-            (MsgKind::WUpg, Valid | Invalid) if msg.initiator != env.me() => {
+            (MsgKind::WUpg, Valid | Invalid) => {
                 env.push(Dest::To(env.owner()), MsgKind::WUpg, PayloadKind::Token);
                 state
             }
-            (MsgKind::WPer, Valid | Invalid) if msg.initiator != env.me() => {
+            (MsgKind::WPer, Valid | Invalid) => {
                 env.push(Dest::To(env.owner()), MsgKind::WPer, PayloadKind::Token);
                 state
             }
@@ -140,13 +151,23 @@ impl CoherenceProtocol for Berkeley {
                 }
                 env.change();
                 env.set_owner(env.me());
+                env.set_owner_epoch(msg.epoch);
                 env.enable_local();
                 Dirty
             }
-            (MsgKind::WInv, _) => {
+            (MsgKind::WInv, _) if msg.epoch >= env.owner_epoch() => {
                 env.set_owner(msg.initiator);
+                env.set_owner_epoch(msg.epoch);
                 Invalid
             }
+            // A wave from an ownership transfer older than the one our
+            // register already reflects — waves from different grantors
+            // share no FIFO channel, so this happens under concurrency.
+            // Applying it would point the register *backward* along the
+            // grant chain (forwarding could then cycle among former
+            // owners) and, worse, a stale wave reaching the *current*
+            // owner would silently de-throne it. Drop it.
+            (MsgKind::WInv, _) => state,
             _ => protocol_error(self.kind(), state, msg),
         }
     }
@@ -292,6 +313,89 @@ mod tests {
         );
         assert_eq!(s, CopyState::Invalid);
         assert_eq!(env.owner, NodeId(2));
+    }
+
+    #[test]
+    fn grant_advances_the_ownership_epoch() {
+        let mut owner = client_with_owner(0, 0);
+        owner.owner_epoch = 4;
+        Berkeley.step(
+            &mut owner,
+            CopyState::Dirty,
+            &net_msg(MsgKind::WPer, 3, 3, PayloadKind::Token),
+        );
+        assert_eq!(owner.owner_epoch, 5);
+        // The grantee adopts the epoch the grant carries.
+        let mut env = client_with_owner(3, 0);
+        let mut gnt = net_msg(MsgKind::WGnt, 3, 0, PayloadKind::Copy);
+        gnt.epoch = 5;
+        Berkeley.step(&mut env, CopyState::Invalid, &gnt);
+        assert_eq!(env.owner, NodeId(3));
+        assert_eq!(env.owner_epoch, 5);
+    }
+
+    #[test]
+    fn fresh_wave_moves_the_register_forward() {
+        let mut env = client_with_owner(1, 0);
+        env.owner_epoch = 2;
+        let mut wave = net_msg(MsgKind::WInv, 3, 3, PayloadKind::Token);
+        wave.epoch = 5;
+        let s = Berkeley.step(&mut env, CopyState::Valid, &wave);
+        assert_eq!(s, CopyState::Invalid);
+        assert_eq!(env.owner, NodeId(3));
+        assert_eq!(env.owner_epoch, 5);
+    }
+
+    #[test]
+    fn stale_wave_does_not_regress_the_register() {
+        // Waves from different grantors share no FIFO channel: a wave
+        // announcing reign 2 can arrive after the register already
+        // reflects reign 5. Applying it would point the register
+        // backward along the grant chain and forwarding could cycle.
+        let mut env = client_with_owner(1, 4);
+        env.owner_epoch = 5;
+        let mut wave = net_msg(MsgKind::WInv, 2, 2, PayloadKind::Token);
+        wave.epoch = 2;
+        let s = Berkeley.step(&mut env, CopyState::Invalid, &wave);
+        assert_eq!(s, CopyState::Invalid);
+        assert_eq!(
+            env.owner,
+            NodeId(4),
+            "stale wave must not move the register"
+        );
+        assert_eq!(env.owner_epoch, 5);
+    }
+
+    #[test]
+    fn stale_wave_does_not_dethrone_the_current_owner() {
+        // The current owner (reign 5) receives a delayed wave from the
+        // reign-2 transfer. Pre-epoch this silently invalidated the only
+        // owner in the system — every later request then bounced among
+        // INVALID former owners forever.
+        let mut env = client_with_owner(1, 1);
+        env.owner_epoch = 5;
+        let mut wave = net_msg(MsgKind::WInv, 2, 2, PayloadKind::Token);
+        wave.epoch = 2;
+        let s = Berkeley.step(&mut env, CopyState::Dirty, &wave);
+        assert_eq!(s, CopyState::Dirty, "owner must survive a stale wave");
+        assert_eq!(env.owner, NodeId(1));
+    }
+
+    #[test]
+    fn own_bounced_request_is_reforwarded() {
+        // Node 1's W-PER bounced back to node 1 via a peer whose
+        // register still named node 1 from an earlier reign. It must be
+        // re-forwarded along node 1's own (fresher) register, not die
+        // in a protocol error.
+        let mut env = client_with_owner(1, 4);
+        let s = Berkeley.step(
+            &mut env,
+            CopyState::Invalid,
+            &net_msg(MsgKind::WPer, 1, 3, PayloadKind::Token),
+        );
+        assert_eq!(s, CopyState::Invalid);
+        assert_eq!(env.pushes[0].dest, Dest::To(NodeId(4)));
+        assert_eq!(env.pushes[0].kind, MsgKind::WPer);
     }
 
     #[test]

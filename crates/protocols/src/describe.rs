@@ -320,6 +320,7 @@ pub fn probe(
         queue,
         payload: input.payload,
         op: OpTag(0),
+        epoch: 0,
     };
     let result = catch_unwind(AssertUnwindSafe(|| protocol.step(&mut env, state, &msg)));
     match result {

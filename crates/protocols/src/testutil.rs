@@ -25,6 +25,8 @@ pub struct MockActions {
     pub n_nodes: usize,
     /// Current owner register.
     pub owner: NodeId,
+    /// Ownership epoch register (reign number of `owner`).
+    pub owner_epoch: u64,
     /// The operation the local application has in flight.
     pub pending: Option<OpKind>,
     /// Recorded pushes in order.
@@ -53,6 +55,7 @@ impl MockActions {
             home: NodeId(n_clients as u16),
             n_nodes: n_clients + 1,
             owner: NodeId(n_clients as u16),
+            owner_epoch: 0,
             pending: None,
             pushes: Vec::new(),
             changes: 0,
@@ -116,6 +119,12 @@ impl Actions for MockActions {
     }
     fn set_owner(&mut self, owner: NodeId) {
         self.owner = owner;
+    }
+    fn owner_epoch(&self) -> u64 {
+        self.owner_epoch
+    }
+    fn set_owner_epoch(&mut self, epoch: u64) {
+        self.owner_epoch = epoch;
     }
     fn push(&mut self, dest: Dest, kind: MsgKind, payload: PayloadKind) {
         self.pushes.push(RecordedPush {
@@ -183,5 +192,6 @@ pub fn net_msg(
         queue: repmem_core::QueueKind::Distributed,
         payload,
         op: repmem_core::OpTag(1),
+        epoch: 0,
     }
 }

@@ -14,9 +14,9 @@
 //! The process serves until a control connection sends `Shutdown`.
 
 use repmem_core::{NodeId, ProtocolKind, SystemParams};
-use repmem_net::ReconnectPolicy;
-use repmem_runtime::remote::{serve, ServeConfig};
-use repmem_runtime::RecoveryPolicy;
+use repmem_net::{ReconnectPolicy, WireMode};
+use repmem_runtime::remote::{serve, MeshBackend, ServeConfig};
+use repmem_runtime::{RecoveryPolicy, ShardConfig};
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::time::Duration;
@@ -37,6 +37,8 @@ struct Args {
     link_timeout: Duration,
     reconnect_attempts: u32,
     retry_deadline: Duration,
+    shard: ShardConfig,
+    mesh: MeshBackend,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
     let mut link_timeout = Duration::from_secs(10);
     let mut reconnect_attempts = 0u32;
     let mut retry_deadline = Duration::ZERO;
+    let mut shard = ShardConfig::default();
+    let mut mesh = MeshBackend::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -79,6 +83,9 @@ fn parse_args() -> Result<Args, String> {
                     "--retry-deadline-ms",
                 )?)
             }
+            "--shards" => shard.shards = parse(&value("--shards")?, "--shards")?,
+            "--window" => shard.window = parse(&value("--window")?, "--window")?,
+            "--mesh" => mesh = parse_mesh(&value("--mesh")?)?,
             "--help" | "-h" => {
                 print!("{}", HELP);
                 std::process::exit(0);
@@ -92,6 +99,12 @@ fn parse_args() -> Result<Args, String> {
         p: p.ok_or("--p is required")?,
         m_objects: m.ok_or("--m is required")?,
     };
+    if shard.shards == 0 || shard.window == 0 {
+        return Err(format!(
+            "invalid shard config: {} shards, window {}",
+            shard.shards, shard.window
+        ));
+    }
     Ok(Args {
         node: node.ok_or("--node is required")?,
         sys,
@@ -101,7 +114,22 @@ fn parse_args() -> Result<Args, String> {
         link_timeout,
         reconnect_attempts,
         retry_deadline,
+        shard,
+        mesh,
     })
+}
+
+fn parse_mesh(name: &str) -> Result<MeshBackend, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "threaded" | "tcp" => Ok(MeshBackend::Threaded(WireMode::Eager)),
+        "coalesce" | "tcp+coalesce" => Ok(MeshBackend::Threaded(WireMode::Coalesce)),
+        "batch" | "tcp+batch" => Ok(MeshBackend::Threaded(WireMode::Batch)),
+        #[cfg(target_os = "linux")]
+        "epoll" | "tcp+epoll" => Ok(MeshBackend::Epoll),
+        other => Err(format!(
+            "unknown mesh backend {other:?}; one of: threaded, coalesce, batch, epoll"
+        )),
+    }
 }
 
 const HELP: &str = "\
@@ -111,6 +139,7 @@ USAGE:
     repmem-node --node I --n-clients N --s S --p P --m M --protocol NAME
                 [--listen ADDR] [--peers A0,A1,...] [--link-timeout-secs T]
                 [--reconnect-attempts K] [--retry-deadline-ms D]
+                [--shards K] [--window W] [--mesh BACKEND]
 
 With no --peers, prints `LISTEN <addr>` and reads `PEERS <a0> <a1> ...`
 from stdin. Protocol names are the paper's (case-insensitive), e.g.
@@ -121,6 +150,13 @@ with jitter, K attempts) before declaring the peer permanently down;
 --retry-deadline-ms D > 0 retries sends that hit transient link errors
 for up to D ms before degrading that one operation. Both default to 0:
 the paper's fault-free channel assumption.
+
+--shards K runs K sequencer shard nodes (the cluster then has
+N-clients + K nodes; every process must agree); --window W allows W
+in-flight operations per node. --mesh picks the wire stack: threaded
+(default, one blocking reader thread per link), coalesce (threaded +
+per-link write coalescing at flush), batch (threaded + batch frames),
+or epoll (event-driven, one I/O loop thread; Linux only).
 ";
 
 fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String>
@@ -159,7 +195,7 @@ fn parse_peers(list: &str, expected: usize) -> Result<Vec<SocketAddr>, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let n = args.sys.n_nodes();
+    let n = args.shard.total_nodes(&args.sys);
     if usize::from(args.node) >= n {
         return Err(format!(
             "--node {} out of range: the system has nodes 0..{n}",
@@ -207,6 +243,8 @@ fn run() -> Result<(), String> {
         } else {
             RecoveryPolicy::with_deadline(args.retry_deadline)
         },
+        shard: args.shard,
+        mesh: args.mesh,
     })
     .map_err(|e| e.to_string())
 }

@@ -229,6 +229,7 @@ impl Cluster {
         let messages = Arc::new(AtomicU64::new(0));
         let versions = Arc::new(AtomicU64::new(0));
         let poison: Arc<Mutex<Option<ClusterError>>> = Arc::new(Mutex::new(None));
+        let dead = Arc::new(crate::node::DeadSet::new(n));
         let meter = transport.meter();
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
@@ -261,6 +262,7 @@ impl Cluster {
                 VersionClock::Shared(Arc::clone(&versions)),
                 Arc::clone(&poison),
                 recovery,
+                Arc::clone(&dead),
             );
             let done_tx = done_tx.clone();
             threads.push(std::thread::spawn(move || {

@@ -127,6 +127,44 @@ impl RecoveryPolicy {
     }
 }
 
+/// Cluster-wide dead-peer hint: one monotonic flag per node, shared by
+/// every node loop (and application handle path) of a cluster.
+///
+/// When any node's send outlives its whole recovery budget — or fails
+/// with the permanent [`repmem_net::NetError::Down`] — it marks the
+/// peer here as well as in its private `known_down` set. Other nodes
+/// consult the shared set on their *first* transient send failure to a
+/// peer, so the first operation each of N concurrent handles aims at an
+/// already-discovered-dead shard fails fast instead of each paying the
+/// full `retry_deadline` as detection (the documented first-op stall).
+/// Kills are permanent in this system, so flags only ever go up and a
+/// reader needs no lock — a relaxed load is a valid hint.
+pub(crate) struct DeadSet {
+    peers: Vec<std::sync::atomic::AtomicBool>,
+}
+
+impl DeadSet {
+    pub fn new(n: usize) -> DeadSet {
+        DeadSet {
+            peers: (0..n)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+        }
+    }
+
+    pub fn mark(&self, peer: NodeId) {
+        if let Some(f) = self.peers.get(peer.idx()) {
+            f.store(true, Ordering::Relaxed);
+        }
+    }
+
+    pub fn is_down(&self, peer: NodeId) -> bool {
+        self.peers
+            .get(peer.idx())
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
+
 /// First-error-wins poison cell shared by every node of a cluster.
 pub(crate) type Poison = Arc<Mutex<Option<ClusterError>>>;
 
@@ -205,6 +243,9 @@ pub(crate) struct AppReq {
 pub(crate) struct Proc {
     pub state: CopyState,
     pub owner: NodeId,
+    /// Reign number of the owner the register names; only protocols
+    /// with migrating ownership advance it (see `Actions::owner_epoch`).
+    pub owner_epoch: u64,
     pub copy: Payload,
     /// Quorum round bookkeeping: votes counted, votes needed, and the
     /// op tag of the armed round — stragglers from a superseded round
@@ -278,6 +319,10 @@ pub(crate) struct NodeCtx {
     /// already known dead instead of leaving them to hang until the
     /// shutdown deadline.
     known_down: std::collections::HashSet<NodeId>,
+    /// Cluster-wide dead-peer hint shared with every other node loop
+    /// (see [`DeadSet`]): written when this node discovers a death, read
+    /// to fast-fail sends to peers some *other* node already buried.
+    dead: Arc<DeadSet>,
 }
 
 impl NodeCtx {
@@ -293,6 +338,7 @@ impl NodeCtx {
         clock: VersionClock,
         poison: Poison,
         recovery: RecoveryPolicy,
+        dead: Arc<DeadSet>,
     ) -> NodeCtx {
         let proto = protocol(kind);
         let shards = cfg.map(&sys);
@@ -304,9 +350,22 @@ impl NodeCtx {
                 } else {
                     repmem_core::Role::Client
                 };
+                // Under the client-driven promise a shard node's replica
+                // of a foreign object is unreadable by construction (no
+                // application runs here, and broadcast waves skip it),
+                // so it starts INVALID regardless of the protocol's
+                // client initial state — keeping coherence dumps honest
+                // for update protocols whose client copies are
+                // otherwise born readable.
+                let state = if shards.prunes(kind) && me != home && shards.is_shard(me) {
+                    repmem_core::CopyState::Invalid
+                } else {
+                    proto.initial_state(role)
+                };
                 Proc {
-                    state: proto.initial_state(role),
+                    state,
                     owner: home,
+                    owner_epoch: 0,
                     copy: Payload::initial(),
                     votes: 0,
                     need: 0,
@@ -331,6 +390,7 @@ impl NodeCtx {
             pending: (0..sys.m_objects).map(|_| None).collect(),
             in_flight: 0,
             known_down: std::collections::HashSet::new(),
+            dead,
         }
     }
 }
@@ -380,6 +440,7 @@ impl NodeCtx {
 struct NodeHost<'a> {
     me: NodeId,
     sys: SystemParams,
+    kind: ProtocolKind,
     shards: ShardMap,
     endpoint: &'a dyn Endpoint,
     proc_: &'a mut Proc,
@@ -394,6 +455,9 @@ struct NodeHost<'a> {
     /// step (`NodeCtx::known_down`); sends to them skip the retry
     /// budget and fail as `Down` after one attempt.
     known_down: &'a std::collections::HashSet<NodeId>,
+    /// Cluster-wide dead-peer hint (see [`DeadSet`]): deaths discovered
+    /// by *other* node loops, consulted on the same fast-fail path.
+    dead: &'a DeadSet,
     /// First unrecoverable condition hit during this step, if any.
     error: Option<String>,
     /// A peer this step could not reach even after its recovery budget:
@@ -472,7 +536,7 @@ impl NodeHost<'_> {
         if self.recovery.retry_deadline.is_zero() {
             return Err(last);
         }
-        if self.known_down.contains(&to) {
+        if self.known_down.contains(&to) || self.dead.is_down(to) {
             return Err(NetError::Down(to));
         }
         let deadline = Instant::now() + self.recovery.retry_deadline;
@@ -489,6 +553,70 @@ impl NodeHost<'_> {
                 Err(e) => last = e,
             }
             wait = wait.saturating_mul(2).min(self.recovery.cap.max(wait));
+        }
+    }
+
+    /// One receiver's leg of [`Actions::push`]: meter the message, build
+    /// the envelope, send with recovery, and fold any failure into the
+    /// step's degradation state. `single` marks a `Dest::To` send — only
+    /// those can take the initiator's own pending operation down with
+    /// them; a lost broadcast leg is degraded service, not a failure.
+    fn push_to(
+        &mut self,
+        r: NodeId,
+        single: bool,
+        kind: MsgKind,
+        payload: PayloadKind,
+        params: &Option<Payload>,
+        copy: &Option<Payload>,
+    ) {
+        if r != self.me {
+            self.cost
+                .fetch_add(self.sys.msg_cost(payload), Ordering::Relaxed);
+            self.messages.fetch_add(1, Ordering::Relaxed);
+        }
+        let msg = Msg {
+            kind,
+            initiator: self.env.msg.initiator,
+            sender: self.me,
+            object: self.env.msg.object,
+            queue: QueueKind::Distributed,
+            payload,
+            op: self.env.msg.op,
+            epoch: self.proc_.owner_epoch,
+        };
+        let env = Envelope {
+            msg,
+            params: params.clone(),
+            copy: copy.clone(),
+            clock: self.clock.now(),
+        };
+        if let Err(e) = self.send_with_recovery(r, &env) {
+            use repmem_net::NetError;
+            let retrying = !self.recovery.retry_deadline.is_zero();
+            let degrade = matches!(e, NetError::Down(_))
+                || (retrying && matches!(e, NetError::Closed(_) | NetError::Io(_)));
+            if degrade {
+                // The peer is gone (or outlived the whole retry
+                // budget). If this step is my own operation talking
+                // to the one peer it needs, that operation must
+                // fail; a broadcast or relayed message to a dead
+                // peer is simply dropped (degraded service).
+                if !self.down.contains(&r) {
+                    self.down.push(r);
+                }
+                if single
+                    && self.env.msg.initiator == self.me
+                    && self.pending.is_some()
+                    && self.dead_dest.is_none()
+                {
+                    self.dead_dest = Some(r);
+                }
+            } else if !matches!(e, NetError::Closed(_)) {
+                // Fault-free default: a closed peer during shutdown
+                // is routine; anything else poisons the cluster.
+                self.fail(format!("send {:?} to {r} failed: {e}", kind));
+            }
         }
     }
 }
@@ -511,6 +639,12 @@ impl Actions for NodeHost<'_> {
     fn set_owner(&mut self, owner: NodeId) {
         self.proc_.owner = owner;
     }
+    fn owner_epoch(&self) -> u64 {
+        self.proc_.owner_epoch
+    }
+    fn set_owner_epoch(&mut self, epoch: u64) {
+        self.proc_.owner_epoch = epoch;
+    }
     fn push(&mut self, dest: Dest, kind: MsgKind, payload: PayloadKind) {
         let params = match payload {
             PayloadKind::Params => Some(self.context_params()),
@@ -523,60 +657,25 @@ impl Actions for NodeHost<'_> {
         if self.error.is_some() {
             return;
         }
-        let single = matches!(dest, Dest::To(_));
-        let receivers: Vec<NodeId> = match dest {
-            Dest::To(n) => vec![n],
-            Dest::AllExcept(a, b) => (0..self.shards.n_nodes() as u16)
-                .map(NodeId)
-                .filter(|&n| n != a && Some(n) != b)
-                .collect(),
-        };
-        for r in receivers {
-            if r != self.me {
-                self.cost
-                    .fetch_add(self.sys.msg_cost(payload), Ordering::Relaxed);
-                self.messages.fetch_add(1, Ordering::Relaxed);
-            }
-            let msg = Msg {
-                kind,
-                initiator: self.env.msg.initiator,
-                sender: self.me,
-                object: self.env.msg.object,
-                queue: QueueKind::Distributed,
-                payload,
-                op: self.env.msg.op,
-            };
-            let env = Envelope {
-                msg,
-                params: params.clone(),
-                copy: copy.clone(),
-                clock: self.clock.now(),
-            };
-            if let Err(e) = self.send_with_recovery(r, &env) {
-                use repmem_net::NetError;
-                let retrying = !self.recovery.retry_deadline.is_zero();
-                let degrade = matches!(e, NetError::Down(_))
-                    || (retrying && matches!(e, NetError::Closed(_) | NetError::Io(_)));
-                if degrade {
-                    // The peer is gone (or outlived the whole retry
-                    // budget). If this step is my own operation talking
-                    // to the one peer it needs, that operation must
-                    // fail; a broadcast or relayed message to a dead
-                    // peer is simply dropped (degraded service).
-                    if !self.down.contains(&r) {
-                        self.down.push(r);
+        match dest {
+            Dest::To(r) => self.push_to(r, true, kind, payload, &params, &copy),
+            Dest::AllExcept(a, b) => {
+                // Client-driven sharded clusters prune foreign shard
+                // nodes from broadcast waves: their replicas start
+                // INVALID, nothing ever reads them, so an invalidation
+                // or update to them is pure wire cost (the sharded-W=1
+                // regression). Quorum is exempt — every replica votes.
+                let prune = self.shards.prunes(self.kind);
+                let home = self.shards.home_of(self.env.msg.object);
+                for i in 0..self.shards.n_nodes() as u16 {
+                    let r = NodeId(i);
+                    if r == a || Some(r) == b {
+                        continue;
                     }
-                    if single
-                        && self.env.msg.initiator == self.me
-                        && self.pending.is_some()
-                        && self.dead_dest.is_none()
-                    {
-                        self.dead_dest = Some(r);
+                    if prune && r != home && self.shards.is_shard(r) {
+                        continue;
                     }
-                } else if !matches!(e, NetError::Closed(_)) {
-                    // Fault-free default: a closed peer during shutdown
-                    // is routine; anything else poisons the cluster.
-                    self.fail(format!("send {:?} to {r} failed: {e}", kind));
+                    self.push_to(r, false, kind, payload, &params, &copy);
                 }
             }
         }
@@ -652,6 +751,7 @@ impl NodeCtx {
         let mut host = NodeHost {
             me: self.me,
             sys: self.sys,
+            kind: self.kind,
             shards: self.shards,
             endpoint: self.endpoint.as_ref(),
             proc_: &mut self.procs[idx],
@@ -662,6 +762,7 @@ impl NodeCtx {
             clock: &self.clock,
             recovery: self.recovery,
             known_down: &self.known_down,
+            dead: &self.dead,
             error: None,
             dead_dest: None,
             down: Vec::new(),
@@ -682,6 +783,9 @@ impl NodeCtx {
         let mut newly_down = false;
         for peer in down {
             newly_down |= self.known_down.insert(peer);
+            // Publish the death cluster-wide so concurrent handles on
+            // other nodes fast-fail instead of re-paying detection.
+            self.dead.mark(peer);
         }
         if let Some(peer) = dead {
             // Degraded completion: the one peer this step's operation
@@ -817,6 +921,17 @@ impl NodeCtx {
             ));
         }
         let is_home = self.me == self.shards.home_of(req.object);
+        if !is_home && self.shards.prunes(self.kind) && self.shards.is_shard(self.me) {
+            // The client-driven promise was broken: this shard's replica
+            // of the foreign object was pruned from every wave, so
+            // serving the operation here could return stale data. Fail
+            // loudly instead.
+            return Err(format!(
+                "{}: operation on foreign {} at a sequencer shard violates \
+                 the client-driven promise (ShardConfig::exclusive)",
+                self.me, req.object
+            ));
+        }
         let kind = match req.op {
             OpKind::Read => MsgKind::RReq,
             OpKind::Write => MsgKind::WReq,

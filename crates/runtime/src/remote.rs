@@ -28,8 +28,11 @@ use bytes::Bytes;
 use repmem_core::{NodeId, ObjectId, OpKind, OpTag, ProtocolKind, SystemParams};
 use repmem_net::codec::{read_frame, write_frame, Frame};
 use repmem_net::{
-    CtrlConn, CtrlHandler, ReconnectPolicy, TcpEndpoint, TcpMeshConfig, CTRL_NODE, WIRE_VERSION,
+    CtrlConn, CtrlHandler, Endpoint, ReconnectPolicy, TcpEndpoint, TcpMeshConfig, WireMode,
+    CTRL_NODE, WIRE_VERSION,
 };
+#[cfg(target_os = "linux")]
+use repmem_net::{EpollEndpoint, MeshConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
@@ -38,6 +41,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Which wire mesh implementation a [`serve`] node runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshBackend {
+    /// Thread-per-link blocking mesh ([`TcpEndpoint`]) with the given
+    /// send-to-syscall mapping.
+    Threaded(WireMode),
+    /// Event-driven epoll mesh ([`EpollEndpoint`]): one I/O loop thread
+    /// multiplexing every link, write coalescing at flush.
+    #[cfg(target_os = "linux")]
+    Epoll,
+}
+
+impl Default for MeshBackend {
+    fn default() -> Self {
+        MeshBackend::Threaded(WireMode::Eager)
+    }
+}
 
 /// Everything one `repmem-node` process needs to join a cluster.
 pub struct ServeConfig {
@@ -59,6 +80,12 @@ pub struct ServeConfig {
     /// Node-loop reaction to transient send failures (default: none —
     /// the paper's fault-free assumption).
     pub recovery: RecoveryPolicy,
+    /// Sequencer sharding / pipelining (identical at every node; the
+    /// default is the paper's exact topology: one sequencer, blocking
+    /// operations). `peers` must cover `shard.total_nodes(&sys)` nodes.
+    pub shard: crate::shard::ShardConfig,
+    /// Wire mesh implementation (identical at every node).
+    pub mesh: MeshBackend,
 }
 
 /// Run one node of a multi-process cluster until a control connection
@@ -101,33 +128,54 @@ pub fn serve(cfg: ServeConfig) -> Result<(), ClusterError> {
             )
         })
     };
-    let endpoint = TcpEndpoint::establish(
-        TcpMeshConfig {
-            me: cfg.me,
-            listener: cfg.listener,
-            peers: cfg.peers,
-            link_timeout: cfg.link_timeout,
-            batch: false,
-            reconnect: cfg.reconnect,
-        },
-        deliver,
-        Some(ctrl),
-    )
-    .map_err(|e| ClusterError::Transport(e.to_string()))?;
+    let n_nodes = cfg.peers.len();
+    let endpoint: Box<dyn Endpoint> = match cfg.mesh {
+        MeshBackend::Threaded(mode) => Box::new(
+            TcpEndpoint::establish(
+                TcpMeshConfig {
+                    me: cfg.me,
+                    listener: cfg.listener,
+                    peers: cfg.peers,
+                    link_timeout: cfg.link_timeout,
+                    mode,
+                    reconnect: cfg.reconnect,
+                },
+                deliver,
+                Some(ctrl),
+            )
+            .map_err(|e| ClusterError::Transport(e.to_string()))?,
+        ),
+        #[cfg(target_os = "linux")]
+        MeshBackend::Epoll => Box::new(
+            EpollEndpoint::establish(
+                MeshConfig {
+                    me: cfg.me,
+                    listener: cfg.listener,
+                    peers: cfg.peers,
+                    link_timeout: cfg.link_timeout,
+                    reconnect: cfg.reconnect,
+                },
+                deliver,
+                Some(ctrl),
+            )
+            .map_err(|e| ClusterError::Transport(e.to_string()))?,
+        ),
+    };
 
     let ctx = NodeCtx::new(
         cfg.me,
         cfg.sys,
         cfg.kind,
-        // The multi-process cluster runs the paper's exact topology:
-        // one sequencer, blocking operations.
-        crate::shard::ShardConfig::default(),
-        Box::new(endpoint),
+        cfg.shard,
+        endpoint,
         cost,
         messages,
         VersionClock::Lamport(AtomicU64::new(0)),
         Arc::clone(&poison),
         cfg.recovery,
+        // One node per process: the "cluster-wide" dead set degenerates
+        // to this node's own view (no shared memory to share it over).
+        Arc::new(crate::node::DeadSet::new(n_nodes)),
     );
     // Publish the snapshot before closing the endpoint: close joins the
     // control threads, and the shutdown-issuing one is waiting on it.
@@ -223,12 +271,24 @@ struct CtrlLink {
     writer: TcpStream,
 }
 
-/// A cluster of `N+1` `repmem-node` OS processes on localhost, driven
-/// over per-node TCP control connections.
+/// Per-cluster knobs for [`RemoteCluster::launch_with`] beyond the
+/// system parameters: sequencer sharding and the wire mesh backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaunchOptions {
+    /// Sequencer sharding / pipelining (the cluster then runs
+    /// `n_clients + shards` processes). Default: the paper's topology.
+    pub shard: crate::shard::ShardConfig,
+    /// Wire mesh implementation every node runs on.
+    pub mesh: MeshBackend,
+}
+
+/// A cluster of `repmem-node` OS processes on localhost, driven over
+/// per-node TCP control connections.
 pub struct RemoteCluster {
     sys: SystemParams,
     children: Vec<Child>,
     links: Vec<CtrlLink>,
+    addrs: Vec<SocketAddr>,
 }
 
 impl RemoteCluster {
@@ -242,7 +302,26 @@ impl RemoteCluster {
         kind: ProtocolKind,
         bin: &Path,
     ) -> Result<RemoteCluster, ClusterError> {
-        let n = sys.n_nodes();
+        RemoteCluster::launch_with(sys, kind, bin, LaunchOptions::default())
+    }
+
+    /// [`RemoteCluster::launch`] with explicit [`LaunchOptions`]:
+    /// sharded sequencers (`n_clients + shards` processes) and/or a
+    /// non-default wire mesh backend.
+    pub fn launch_with(
+        sys: SystemParams,
+        kind: ProtocolKind,
+        bin: &Path,
+        opts: LaunchOptions,
+    ) -> Result<RemoteCluster, ClusterError> {
+        let n = opts.shard.total_nodes(&sys);
+        let mesh_flag = match opts.mesh {
+            MeshBackend::Threaded(WireMode::Eager) => "threaded",
+            MeshBackend::Threaded(WireMode::Coalesce) => "coalesce",
+            MeshBackend::Threaded(WireMode::Batch) => "batch",
+            #[cfg(target_os = "linux")]
+            MeshBackend::Epoll => "epoll",
+        };
         let fail =
             |what: &str, e: &dyn std::fmt::Display| ClusterError::Transport(format!("{what}: {e}"));
         let mut children = Vec::with_capacity(n);
@@ -262,6 +341,12 @@ impl RemoteCluster {
                 .arg(kind.name())
                 .arg("--listen")
                 .arg("127.0.0.1:0")
+                .arg("--shards")
+                .arg(opts.shard.shards.to_string())
+                .arg("--window")
+                .arg(opts.shard.window.to_string())
+                .arg("--mesh")
+                .arg(mesh_flag)
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
                 .spawn()
@@ -272,6 +357,7 @@ impl RemoteCluster {
             sys,
             children,
             links: Vec::with_capacity(n),
+            addrs: Vec::new(),
         };
         // Each node binds an ephemeral port and announces it on stdout.
         let mut addrs = Vec::with_capacity(n);
@@ -319,12 +405,54 @@ impl RemoteCluster {
                 writer,
             });
         }
+        cluster.addrs = addrs;
         Ok(cluster)
     }
 
     /// System parameters this cluster runs with.
     pub fn system(&self) -> SystemParams {
         self.sys
+    }
+
+    /// Total nodes (client + sequencer-shard processes) in the cluster.
+    pub fn n_nodes(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Open an *additional* control connection to `node`, independent of
+    /// the cluster's own links: each handle owns its connection, so many
+    /// driver threads can issue operations concurrently (the scale-out
+    /// harness runs one per simulated client process). Drop every handle
+    /// before [`RemoteCluster::shutdown`] — a node's endpoint close
+    /// joins its control threads, which exit when their driver hangs up.
+    pub fn connect_handle(&self, node: NodeId) -> Result<RemoteHandle, ClusterError> {
+        let fail =
+            |what: &str, e: &dyn std::fmt::Display| ClusterError::Transport(format!("{what}: {e}"));
+        let addr = self
+            .addrs
+            .get(node.idx())
+            .ok_or(ClusterError::NodeDown(node))?;
+        let stream = connect_with_retry(*addr, Duration::from_secs(10))
+            .map_err(|e| fail(&format!("control connection to {node}"), &e))?;
+        let _ = stream.set_nodelay(true);
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| fail("cloning control stream", &e))?;
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                version: WIRE_VERSION,
+                node: CTRL_NODE,
+            },
+        )
+        .map_err(|e| fail("control hello", &e))?;
+        Ok(RemoteHandle {
+            node,
+            link: CtrlLink {
+                reader: BufReader::new(stream),
+                writer,
+            },
+        })
     }
 
     /// Read the shared object through `node`'s replica (blocking).
@@ -444,6 +572,54 @@ impl RemoteCluster {
             let _ = child.wait();
         }
         Ok(ClusterDump { copies })
+    }
+}
+
+/// An independent driver connection to one node of a [`RemoteCluster`]
+/// (see [`RemoteCluster::connect_handle`]): issues blocking operations
+/// over its own control stream, so handles on different threads don't
+/// serialize against each other or the cluster's own links.
+pub struct RemoteHandle {
+    node: NodeId,
+    link: CtrlLink,
+}
+
+impl RemoteHandle {
+    /// The node this handle drives.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Read the object through this node's replica (blocking).
+    pub fn read(&mut self, object: ObjectId) -> Result<Bytes, ClusterError> {
+        self.op(OpKind::Read, object, None)
+    }
+
+    /// Write the object through this node (blocking).
+    pub fn write(&mut self, object: ObjectId, data: Bytes) -> Result<(), ClusterError> {
+        self.op(OpKind::Write, object, Some(data)).map(|_| ())
+    }
+
+    fn op(
+        &mut self,
+        op: OpKind,
+        object: ObjectId,
+        data: Option<Bytes>,
+    ) -> Result<Bytes, ClusterError> {
+        let node = self.node;
+        write_frame(&mut self.link.writer, &Frame::Op { op, object, data })
+            .map_err(|e| ClusterError::Transport(format!("sending op to node {node}: {e}")))?;
+        match read_frame(&mut self.link.reader) {
+            Ok(Frame::OpDone { result }) => {
+                result.map_err(|reason| ClusterError::Poisoned { node, reason })
+            }
+            Ok(other) => Err(ClusterError::Transport(format!(
+                "unexpected control reply {other:?} from {node}"
+            ))),
+            Err(e) => Err(ClusterError::Transport(format!(
+                "reading op reply from {node}: {e}"
+            ))),
+        }
     }
 }
 

@@ -24,7 +24,7 @@
 //! flight ([`crate::Handle::read_async`]); `window = 1` reproduces the
 //! paper's strictly blocking local queue.
 
-use repmem_core::{NodeId, ObjectId, SystemParams};
+use repmem_core::{NodeId, ObjectId, ProtocolKind, SystemParams};
 
 /// Sharding and pipelining parameters of a [`crate::Cluster`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +37,18 @@ pub struct ShardConfig {
     /// (`>= 1`). Per-object program order is always preserved; `W = 1`
     /// is the paper's blocking local queue.
     pub window: usize,
+    /// The application promises to issue operations only at client
+    /// nodes (`0..N`), never at a sequencer shard. Under that promise a
+    /// shard node's replica of a *foreign* object (one homed at another
+    /// shard) can never be read, so with `K > 1` the runtime initializes
+    /// those replicas `INVALID` and prunes them from broadcast waves —
+    /// an invalidation or update to a copy nobody will ever read is
+    /// pure wire cost. The gate is opt-in ([`ShardConfig::exclusive`])
+    /// because paper workloads *do* drive the home node (traces
+    /// tr5/tr6), and it never applies to Quorum, whose every replica is
+    /// a first-class voter. `K = 1` has no foreign shards, so the flag
+    /// is a no-op there.
+    pub client_driven: bool,
 }
 
 impl Default for ShardConfig {
@@ -44,6 +56,7 @@ impl Default for ShardConfig {
         ShardConfig {
             shards: 1,
             window: 1,
+            client_driven: false,
         }
     }
 }
@@ -51,12 +64,25 @@ impl Default for ShardConfig {
 impl ShardConfig {
     /// `K` sequencer shards, blocking window.
     pub fn new(shards: usize) -> Self {
-        ShardConfig { shards, window: 1 }
+        ShardConfig {
+            shards,
+            window: 1,
+            client_driven: false,
+        }
     }
 
     /// Set the per-node in-flight operation window.
     pub fn with_window(mut self, window: usize) -> Self {
         self.window = window;
+        self
+    }
+
+    /// Promise that application operations run only at client nodes —
+    /// see [`ShardConfig::client_driven`]. Driving an operation at a
+    /// shard node for a foreign object then poisons the cluster with a
+    /// contract-violation error instead of risking a stale read.
+    pub fn exclusive(mut self) -> Self {
+        self.client_driven = true;
         self
     }
 
@@ -78,6 +104,7 @@ impl ShardConfig {
         ShardMap {
             n_clients: sys.n_clients,
             shards: self.shards,
+            client_driven: self.client_driven,
         }
     }
 }
@@ -87,6 +114,7 @@ impl ShardConfig {
 pub(crate) struct ShardMap {
     n_clients: usize,
     shards: usize,
+    client_driven: bool,
 }
 
 impl ShardMap {
@@ -107,6 +135,15 @@ impl ShardMap {
     /// Whether `node` is one of the sequencer shards.
     pub fn is_shard(&self, node: NodeId) -> bool {
         node.idx() >= self.n_clients
+    }
+
+    /// Whether foreign-shard replicas are pruned from broadcast waves
+    /// under `kind` — the [`ShardConfig::client_driven`] promise is in
+    /// force, there *are* foreign shards (`K > 1`), and the protocol
+    /// routes through per-object sequencing points (Quorum polls every
+    /// replica for votes, so its copies are never prunable).
+    pub fn prunes(&self, kind: ProtocolKind) -> bool {
+        self.client_driven && self.shards > 1 && !kind.polls_all_replicas()
     }
 }
 

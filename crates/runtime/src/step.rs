@@ -79,6 +79,7 @@ impl StepCluster {
         let versions = Arc::new(AtomicU64::new(0));
         let cost = Arc::new(AtomicU64::new(0));
         let messages = Arc::new(AtomicU64::new(0));
+        let dead = Arc::new(crate::node::DeadSet::new(n));
         let mut nodes = Vec::with_capacity(n);
         let mut inboxes = Vec::with_capacity(n);
         for i in 0..n {
@@ -106,6 +107,7 @@ impl StepCluster {
                 VersionClock::Shared(Arc::clone(&versions)),
                 Arc::clone(&poison),
                 RecoveryPolicy::default(),
+                Arc::clone(&dead),
             ));
             inboxes.push(inbox);
         }

@@ -212,6 +212,7 @@ impl Actions for SimHost<'_> {
                 queue: QueueKind::Distributed,
                 payload,
                 op: tag,
+                epoch: 0,
             };
             self.core
                 .schedule(1, EvKind::Deliver(r, Envelope { msg, params, copy }));
